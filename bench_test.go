@@ -1,0 +1,205 @@
+// Package expandergap's root benchmark suite regenerates the derived
+// evaluation of EXPERIMENTS.md: one benchmark per experiment E1–E16 (one per
+// theorem/lemma of the paper plus the preliminaries and construction
+// comparisons), and micro-benchmarks for the substrates the framework is
+// built from. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each experiment benchmark also re-validates the experiment's shape checks
+// and fails if the paper's qualitative claim stops holding.
+package expandergap_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"expandergap/internal/apps/maxis"
+	"expandergap/internal/conductance"
+	"expandergap/internal/congest"
+	"expandergap/internal/expander"
+	"expandergap/internal/experiments"
+	"expandergap/internal/graph"
+	"expandergap/internal/minor"
+	"expandergap/internal/primitives"
+	"expandergap/internal/routing"
+	"expandergap/internal/separator"
+	"expandergap/internal/solvers"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	p := experiments.DefaultParams(experiments.Small)
+	var o experiments.Outcome
+	for i := 0; i < b.N; i++ {
+		o = experiments.Named(id, p)
+	}
+	if !o.Passed() {
+		b.Fatalf("%s shape checks failed: %v", id, o.FailedChecks())
+	}
+	b.ReportMetric(float64(len(o.Table.Rows)), "rows")
+}
+
+func BenchmarkE1DecompositionEdges(b *testing.B) { benchExperiment(b, "E1") }
+func BenchmarkE2ClusterConductance(b *testing.B) { benchExperiment(b, "E2") }
+func BenchmarkE2bDistributedDecomp(b *testing.B) { benchExperiment(b, "E2b") }
+func BenchmarkE3HighDegreeVertex(b *testing.B)   { benchExperiment(b, "E3") }
+func BenchmarkE4WalkRouting(b *testing.B)        { benchExperiment(b, "E4") }
+func BenchmarkE5MaxIS(b *testing.B)              { benchExperiment(b, "E5") }
+func BenchmarkE6PlanarMCM(b *testing.B)          { benchExperiment(b, "E6") }
+func BenchmarkE7MWM(b *testing.B)                { benchExperiment(b, "E7") }
+func BenchmarkE8CorrClust(b *testing.B)          { benchExperiment(b, "E8") }
+func BenchmarkE9PropertyTesting(b *testing.B)    { benchExperiment(b, "E9") }
+func BenchmarkE10LDD(b *testing.B)               { benchExperiment(b, "E10") }
+func BenchmarkE11EdgeSeparator(b *testing.B)     { benchExperiment(b, "E11") }
+func BenchmarkE12LocalCongestGap(b *testing.B)   { benchExperiment(b, "E12") }
+func BenchmarkE13MixingTime(b *testing.B)        { benchExperiment(b, "E13") }
+func BenchmarkE14HypercubeTight(b *testing.B)    { benchExperiment(b, "E14") }
+func BenchmarkE15RoundScaling(b *testing.B)      { benchExperiment(b, "E15") }
+func BenchmarkE16Decomposers(b *testing.B)       { benchExperiment(b, "E16") }
+
+// --- substrate micro-benchmarks ---
+
+func BenchmarkSimulatorFlood(b *testing.B) {
+	g := graph.Grid(16, 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sim := congest.NewSimulator(g, congest.Config{Seed: 1})
+		_, err := sim.Run(func(v *congest.Vertex) congest.Handler {
+			seen := v.ID() == 0
+			return congest.RunFuncs{
+				InitFn: func(v *congest.Vertex) {
+					if seen {
+						v.Broadcast(congest.Message{1})
+					}
+				},
+				RoundFn: func(v *congest.Vertex, round int, recv []congest.Incoming) {
+					if !seen && len(recv) > 0 {
+						seen = true
+						v.Broadcast(congest.Message{1})
+					}
+					if seen {
+						v.Halt()
+					}
+				},
+			}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExpanderDecompose(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.RandomMaximalPlanar(200, rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := expander.Decompose(g, 0.3, expander.Options{Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMPXClustering(b *testing.B) {
+	g := graph.Grid(16, 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := expander.MPX(g, congest.Config{Seed: int64(i)}, 0.2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWalkRoutingGrid(b *testing.B) {
+	g := graph.Grid(8, 8)
+	leader := make([]int, g.N())
+	tokens := make([][]routing.Token, g.N())
+	for v := range tokens {
+		tokens[v] = []routing.Token{{A: int64(v)}}
+	}
+	plan := routing.Plan{
+		Cluster:       primitives.Uniform(g.N()),
+		Leader:        leader,
+		ForwardRounds: 8*g.M()*g.Diameter() + 64,
+		Strategy:      routing.RandomWalk,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, _, err := routing.Exchange(g, congest.Config{Seed: int64(i)}, plan, tokens, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Undelivered > 0 {
+			b.Fatalf("undelivered: %d", res.Undelivered)
+		}
+	}
+}
+
+func BenchmarkBlossomMatching(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	g := graph.RandomMaximalPlanar(150, rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		solvers.MaximumMatching(g)
+	}
+}
+
+func BenchmarkExactMaxIS(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	g := graph.RandomMaximalPlanar(40, rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		solvers.MaximumIndependentSet(g)
+	}
+}
+
+func BenchmarkPlanarityTest(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	g := graph.RandomMaximalPlanar(200, rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !minor.IsPlanar(g) {
+			b.Fatal("triangulation misclassified")
+		}
+	}
+}
+
+func BenchmarkExactConductance(b *testing.B) {
+	g := graph.Hypercube(4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		conductance.ExactConductance(g)
+	}
+}
+
+func BenchmarkSpectralSeparator(b *testing.B) {
+	g := graph.Grid(16, 16)
+	rng := rand.New(rand.NewSource(5))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		separator.Spectral(g, rng)
+	}
+}
+
+func BenchmarkFrameworkMaxISEndToEnd(b *testing.B) {
+	g := graph.Grid(7, 7)
+	for i := 0; i < b.N; i++ {
+		res, err := maxis.Approximate(g, maxis.Options{Eps: 0.25, Cfg: congest.Config{Seed: int64(i)}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Set) == 0 {
+			b.Fatal("empty independent set")
+		}
+	}
+}
+
+func BenchmarkLubyMIS(b *testing.B) {
+	g := graph.Grid(12, 12)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := maxis.LubyMIS(g, congest.Config{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Command decompose generates (or reads) a graph, runs an (ε, φ) expander
+// decomposition, and prints cluster statistics and contract verification.
+//
+// Usage:
+//
+//	decompose [-family grid|trigrid|torus|planar|outer|tree|hypercube|er]
+//	          [-n 64] [-eps 0.3] [-seed 1] [-distributed] [-in file]
+//
+// With -in, the graph is read in the edge-list format of
+// internal/graph.ReadEdgeList instead of being generated.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+
+	"expandergap/internal/congest"
+	"expandergap/internal/expander"
+	"expandergap/internal/graph"
+)
+
+func main() {
+	familyFlag := flag.String("family", "grid", "graph family to generate")
+	nFlag := flag.Int("n", 64, "approximate vertex count")
+	epsFlag := flag.Float64("eps", 0.3, "edge-removal budget ε")
+	seedFlag := flag.Int64("seed", 1, "random seed")
+	distFlag := flag.Bool("distributed", false, "use the distributed (MPX+refine) decomposer")
+	inFlag := flag.String("in", "", "read graph from an edge-list file instead of generating")
+	flag.Parse()
+
+	g, err := buildGraph(*familyFlag, *nFlag, *seedFlag, *inFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "decompose: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Printf("graph: %v (density %.3f, diameter %d)\n", g, g.EdgeDensity(), g.Diameter())
+
+	var dec *expander.Decomposition
+	if *distFlag {
+		var metrics congest.Metrics
+		dec, metrics, err = expander.DistributedDecompose(g, congest.Config{Seed: *seedFlag}, *epsFlag)
+		if err == nil {
+			fmt.Printf("distributed stage: %d rounds, %d messages, %d bits\n",
+				metrics.Rounds, metrics.Messages, metrics.TotalBits(g.N()))
+		}
+	} else {
+		dec, err = expander.Decompose(g, *epsFlag, expander.Options{Seed: *seedFlag})
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "decompose: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("clusters: %d  removed edges: %d (%.4f of |E|, budget %.4f)  φ-target: %.5f\n",
+		len(dec.Clusters), len(dec.Removed), dec.CutFraction(g), *epsFlag, dec.Phi)
+	hist := map[int]int{}
+	for _, c := range dec.Clusters {
+		hist[bucket(len(c))]++
+	}
+	fmt.Println("cluster-size histogram (by power-of-two bucket):")
+	for b := 1; b <= dec.LargestCluster(); b *= 2 {
+		if hist[b] > 0 {
+			fmt.Printf("  ~%4d vertices: %d clusters\n", b, hist[b])
+		}
+	}
+	rng := rand.New(rand.NewSource(*seedFlag))
+	fmt.Printf("stats: %v\n", dec.ComputeStats(g, rng))
+	rep := dec.Verify(g, rng)
+	fmt.Printf("verify: cutOK=%v conductanceOK=%v (min Φ=%.5f, exact=%v) connected=%v\n",
+		rep.CutOK, rep.ConductanceOK, rep.MinConductance, rep.Exact, rep.Connected)
+}
+
+func bucket(size int) int {
+	return 1 << int(math.Round(math.Log2(float64(size))))
+}
+
+func buildGraph(family string, n int, seed int64, in string) (*graph.Graph, error) {
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return graph.ReadEdgeList(f)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	side := int(math.Sqrt(float64(n)))
+	if side < 3 {
+		side = 3
+	}
+	switch family {
+	case "grid":
+		return graph.Grid(side, side), nil
+	case "trigrid":
+		return graph.TriangulatedGrid(side, side), nil
+	case "torus":
+		return graph.Torus(side, side), nil
+	case "planar":
+		return graph.RandomMaximalPlanar(n, rng), nil
+	case "outer":
+		return graph.RandomOuterplanar(n, rng), nil
+	case "tree":
+		return graph.RandomTree(n, rng), nil
+	case "hypercube":
+		d := int(math.Round(math.Log2(float64(n))))
+		if d < 2 {
+			d = 2
+		}
+		return graph.Hypercube(d), nil
+	case "er":
+		return graph.ErdosRenyi(n, 4/float64(n), rng), nil
+	default:
+		return nil, fmt.Errorf("unknown family %q", family)
+	}
+}

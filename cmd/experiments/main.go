@@ -1,0 +1,77 @@
+// Command experiments runs the derived evaluation suite E1–E12 (one
+// experiment per theorem/lemma of the paper; see DESIGN.md §4) and prints
+// the tables recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments [-scale small|full] [-only E5[,E6,...]] [-seed N]
+//
+// The process exits non-zero if any experiment's shape checks fail.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"expandergap/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "full", "experiment scale: small or full")
+	onlyFlag := flag.String("only", "", "comma-separated experiment IDs (default: all)")
+	seedFlag := flag.Int64("seed", 0, "override the experiment seed (0 = default)")
+	listFlag := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *listFlag {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	var scale experiments.Scale
+	switch *scaleFlag {
+	case "small":
+		scale = experiments.Small
+	case "full":
+		scale = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown scale %q (want small or full)\n", *scaleFlag)
+		os.Exit(2)
+	}
+	params := experiments.DefaultParams(scale)
+	if *seedFlag != 0 {
+		params.Seed = *seedFlag
+	}
+
+	ids := experiments.IDs()
+	if *onlyFlag != "" {
+		ids = strings.Split(*onlyFlag, ",")
+	}
+
+	failed := 0
+	for _, id := range ids {
+		o := experiments.Named(strings.TrimSpace(id), params)
+		fmt.Println(o.Table)
+		for _, c := range o.Checks {
+			status := "PASS"
+			if !c.OK {
+				status = "FAIL"
+				failed++
+			}
+			line := fmt.Sprintf("  [%s] %s", status, c.Name)
+			if c.Info != "" {
+				line += " — " + c.Info
+			}
+			fmt.Println(line)
+		}
+		fmt.Println()
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: %d shape check(s) failed\n", failed)
+		os.Exit(1)
+	}
+}

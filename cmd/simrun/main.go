@@ -1,0 +1,170 @@
+// Command simrun executes one distributed algorithm on a generated network
+// and prints its communication metrics and solution quality — a quick way to
+// poke at any algorithm in the repository from the command line.
+//
+// Usage:
+//
+//	simrun -algo maxis|mcm|mwm|corrclust|ldd|proptest|luby|greedy|pivot|mpx
+//	       [-family grid|trigrid|torus|planar|tree] [-n 64] [-eps 0.25] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+
+	"expandergap/internal/apps/corrclust"
+	"expandergap/internal/apps/ldd"
+	"expandergap/internal/apps/matching"
+	"expandergap/internal/apps/maxis"
+	"expandergap/internal/apps/proptest"
+	"expandergap/internal/congest"
+	"expandergap/internal/core"
+	"expandergap/internal/expander"
+	"expandergap/internal/graph"
+	"expandergap/internal/minor"
+	"expandergap/internal/solvers"
+)
+
+func main() {
+	algoFlag := flag.String("algo", "maxis", "algorithm to run")
+	familyFlag := flag.String("family", "grid", "graph family")
+	nFlag := flag.Int("n", 64, "approximate vertex count")
+	epsFlag := flag.Float64("eps", 0.25, "approximation / decomposition parameter")
+	seedFlag := flag.Int64("seed", 1, "random seed")
+	detFlag := flag.Bool("deterministic", false, "use the deterministic (tree-routing) framework track")
+	distFlag := flag.Bool("distributed", false, "use the distributed (MPX+refine) decomposer")
+	faultFlag := flag.Float64("faults", 0, "message drop probability (failure-path exploration)")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seedFlag))
+	g := buildGraph(*familyFlag, *nFlag, rng)
+	cfg := congest.Config{Seed: *seedFlag, FaultRate: *faultFlag}
+	coreOpts := core.Options{Deterministic: *detFlag}
+	if *distFlag {
+		coreOpts.Decomposer = core.DistributedDecomposer
+	}
+	fmt.Printf("graph: %v\n", g)
+
+	var err error
+	switch *algoFlag {
+	case "maxis":
+		var res *maxis.Result
+		res, err = maxis.Approximate(g, maxis.Options{Eps: *epsFlag, Cfg: cfg, Core: coreOpts})
+		if err == nil {
+			ratio, exact := maxis.Ratio(g, res.Set)
+			printMetrics(res.Solution.Metrics, g.N())
+			fmt.Printf("independent set: %d vertices (ratio %.4f, exact-opt=%v, dropped %d)\n",
+				len(res.Set), ratio, exact, res.Dropped)
+		}
+	case "mcm":
+		var res *matching.Result
+		res, err = matching.ApproximateMCM(g, matching.Options{Eps: *epsFlag, Cfg: cfg, Core: coreOpts})
+		if err == nil {
+			opt := solvers.MatchingSize(solvers.MaximumMatching(g))
+			printMetrics(res.Solution.Metrics, g.N())
+			fmt.Printf("matching: %d pairs (opt %d, ratio %.4f)\n",
+				res.Size(), opt, float64(res.Size())/math.Max(float64(opt), 1))
+		}
+	case "mwm":
+		wg := graph.WithRandomWeights(g, 100, rng)
+		var res *matching.Result
+		res, err = matching.ApproximateMWM(wg, matching.Options{Eps: *epsFlag, Cfg: cfg, Core: coreOpts})
+		if err == nil {
+			printMetrics(res.Solution.Metrics, wg.N())
+			fmt.Printf("weighted matching: weight %d (%d pairs)\n", res.Weight(wg), res.Size())
+		}
+	case "corrclust":
+		sg := graph.WithRandomSigns(g, 0.6, rng)
+		var res *corrclust.Result
+		res, err = corrclust.Approximate(sg, corrclust.Options{Eps: *epsFlag, Cfg: cfg, Core: coreOpts})
+		if err == nil {
+			printMetrics(res.Solution.Metrics, sg.N())
+			fmt.Printf("correlation clustering: score %d (γ-bound %d, |E| %d)\n",
+				res.Score, corrclust.GammaLowerBound(sg), sg.M())
+		}
+	case "ldd":
+		var res *ldd.Result
+		res, err = ldd.Decompose(g, ldd.Options{Eps: *epsFlag, Cfg: cfg, Core: coreOpts})
+		if err == nil {
+			printMetrics(res.Solution.Metrics, g.N())
+			fmt.Printf("low-diameter decomposition: max diameter %d (D·ε = %.3f), cut %.4f\n",
+				res.MaxDiameter, float64(res.MaxDiameter)**epsFlag, res.CutFraction)
+		}
+	case "proptest":
+		var v *proptest.Verdict
+		v, err = proptest.Test(g, minor.Planarity(), proptest.Options{Eps: *epsFlag, Cfg: cfg, Core: coreOpts})
+		if err == nil {
+			printMetrics(v.Solution.Metrics, g.N())
+			fmt.Printf("planarity test: all-accept=%v (input planar: %v)\n",
+				v.AllAccept, minor.IsPlanar(g))
+		}
+	case "luby":
+		var set []int
+		var m congest.Metrics
+		set, m, err = maxis.LubyMIS(g, cfg)
+		if err == nil {
+			printMetrics(m, g.N())
+			fmt.Printf("Luby MIS: %d vertices\n", len(set))
+		}
+	case "greedy":
+		var res *matching.Result
+		var m congest.Metrics
+		res, m, err = matching.DistributedGreedy(g, cfg)
+		if err == nil {
+			printMetrics(m, g.N())
+			fmt.Printf("greedy matching: %d pairs\n", res.Size())
+		}
+	case "pivot":
+		sg := graph.WithRandomSigns(g, 0.6, rng)
+		var labels []int
+		var m congest.Metrics
+		labels, m, err = corrclust.DistributedPivot(sg, cfg)
+		if err == nil {
+			printMetrics(m, sg.N())
+			fmt.Printf("pivot clustering: score %d\n", solvers.CorrelationScore(sg, labels))
+		}
+	case "mpx":
+		var res expander.MPXResult
+		var m congest.Metrics
+		res, m, err = expander.MPX(g, cfg, *epsFlag)
+		if err == nil {
+			printMetrics(m, g.N())
+			clusters := res.Assignment.Clusters()
+			fmt.Printf("MPX clustering: %d clusters\n", len(clusters))
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "simrun: unknown algorithm %q\n", *algoFlag)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simrun: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func printMetrics(m congest.Metrics, n int) {
+	fmt.Printf("rounds %d, messages %d, words %d, total bits %d, max msg words %d\n",
+		m.Rounds, m.Messages, m.Words, m.TotalBits(n), m.MaxWordsPerMsg)
+}
+
+func buildGraph(family string, n int, rng *rand.Rand) *graph.Graph {
+	side := int(math.Sqrt(float64(n)))
+	if side < 3 {
+		side = 3
+	}
+	switch family {
+	case "trigrid":
+		return graph.TriangulatedGrid(side, side)
+	case "torus":
+		return graph.Torus(side, side)
+	case "planar":
+		return graph.RandomMaximalPlanar(n, rng)
+	case "tree":
+		return graph.RandomTree(n, rng)
+	default:
+		return graph.Grid(side, side)
+	}
+}

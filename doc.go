@@ -1,0 +1,23 @@
+// Package expandergap is a from-scratch Go reproduction of "Narrowing the
+// LOCAL–CONGEST Gaps in Sparse Networks via Expander Decompositions"
+// (Yi-Jun Chang and Hsin-Hao Su, PODC 2022).
+//
+// The paper shows that on H-minor-free networks, many combinatorial
+// optimization problems — maximum weighted matching, maximum independent
+// set, correlation clustering — admit (1±ε)-approximations in
+// poly(log n, 1/ε) CONGEST rounds, alongside distributed property testing
+// of minor-closed properties and optimal low-diameter decompositions. The
+// engine is an (ε, φ) expander decomposition: each high-conductance cluster
+// contains a high-degree vertex (via the paper's new O(√(Δn)) edge-separator
+// theorem) to which the entire cluster topology can be routed by lazy random
+// walks, solved sequentially, and the answers routed back.
+//
+// This repository implements the full stack on a faithful CONGEST/LOCAL
+// message-passing simulator: see internal/congest for the model,
+// internal/expander and internal/routing for the engine, internal/core for
+// the Theorem 2.6 framework, internal/apps/... for the five applications
+// with distributed baselines, and internal/experiments for the derived
+// evaluation suite (E1–E16) recorded in EXPERIMENTS.md. DESIGN.md documents
+// the architecture and every substitution made for components that are not
+// reproducible at laptop scale.
+package expandergap

@@ -1,0 +1,63 @@
+// Clustering: Theorems 1.3 and 1.5 together on a bounded-genus network — a
+// correlation clustering of a signed torus with planted communities, and a
+// low-diameter decomposition of the same topology, comparing the framework
+// against the MPX baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"expandergap/internal/apps/corrclust"
+	"expandergap/internal/apps/ldd"
+	"expandergap/internal/congest"
+	"expandergap/internal/graph"
+	"expandergap/internal/solvers"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(3))
+	cfg := congest.Config{Seed: 3}
+
+	// A 8x8 torus (genus 1, hence H-minor-free for fixed H) with planted
+	// 8-vertex communities and 5% label noise.
+	base := graph.Torus(8, 8)
+	signed, planted := graph.WithPlantedSigns(base, 8, 0.05, rng)
+	fmt.Printf("network: %v (torus, planted 8-blocks, 5%% noise)\n\n", signed)
+
+	// Theorem 1.3: correlation clustering.
+	cc, err := corrclust.Approximate(signed, corrclust.Options{Eps: 0.25, Cfg: cfg})
+	if err != nil {
+		log.Fatal(err)
+	}
+	plantedScore := solvers.CorrelationScore(signed, planted)
+	fmt.Printf("correlation clustering: score %d / %d edges (planted partition scores %d)\n",
+		cc.Score, signed.M(), plantedScore)
+	fmt.Printf("γ(G) ≥ |E|/2 bound: %d; framework clears (1-ε)·bound: %v\n",
+		corrclust.GammaLowerBound(signed),
+		float64(cc.Score) >= 0.75*float64(corrclust.GammaLowerBound(signed)))
+
+	pivotLabels, _, err := corrclust.DistributedPivot(signed, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pivot baseline score: %d\n\n", solvers.CorrelationScore(signed, pivotLabels))
+
+	// Theorem 1.5: low-diameter decomposition, D = O(1/ε).
+	eps := 0.3
+	fw, err := ldd.Decompose(base, ldd.Options{Eps: eps, Cfg: cfg})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mpx, _, err := ldd.Baseline(base, eps, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("low-diameter decomposition (ε=%.2f):\n", eps)
+	fmt.Printf("  framework: max diameter %d (D·ε = %.2f), cut fraction %.3f\n",
+		fw.MaxDiameter, float64(fw.MaxDiameter)*eps, fw.CutFraction)
+	fmt.Printf("  MPX baseline: max diameter %d (D·ε = %.2f), cut fraction %.3f\n",
+		mpx.MaxDiameter, float64(mpx.MaxDiameter)*eps, mpx.CutFraction)
+	fmt.Println("\nThe framework meets the optimal D = O(1/ε); MPX pays an extra log n.")
+}

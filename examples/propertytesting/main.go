@@ -1,0 +1,51 @@
+// Property testing: Theorem 1.4's distributed tester on three inputs — a
+// planar network (must unanimously accept), a planar network plus planted K5
+// clusters (must reject somewhere), and the forest property as a second
+// minor-closed, union-closed property.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"expandergap/internal/apps/proptest"
+	"expandergap/internal/congest"
+	"expandergap/internal/graph"
+	"expandergap/internal/minor"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+	cfg := congest.Config{Seed: 11}
+
+	run := func(name string, g *graph.Graph, p minor.Property) {
+		v, err := proptest.Test(g, p, proptest.Options{Eps: 0.1, Cfg: cfg})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rejecting := 0
+		for _, a := range v.Accepts {
+			if !a {
+				rejecting++
+			}
+		}
+		fmt.Printf("%-22s property=%-8s n=%-4d all-accept=%-5v rejecting=%d\n",
+			name, p.Name, g.N(), v.AllAccept, rejecting)
+	}
+
+	planar := graph.RandomMaximalPlanar(80, rng)
+	run("planar triangulation", planar, minor.Planarity())
+
+	planted := proptest.PlantCliques(graph.Grid(6, 6), 5, 4)
+	run("grid + 4 planted K5s", planted, minor.Planarity())
+
+	tree := graph.RandomTree(60, rng)
+	run("random tree", tree, minor.Forests())
+
+	triangles := proptest.DisjointForbiddenCliques(3, 10)
+	run("10 disjoint triangles", triangles, minor.Forests())
+
+	fmt.Println("\nOne-sided error in action: inputs with the property are never")
+	fmt.Println("rejected; ε-far inputs always produce at least one rejecting vertex.")
+}

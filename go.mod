@@ -1,0 +1,3 @@
+module expandergap
+
+go 1.22

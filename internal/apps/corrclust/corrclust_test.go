@@ -1,0 +1,111 @@
+package corrclust
+
+import (
+	"math/rand"
+	"testing"
+
+	"expandergap/internal/congest"
+	"expandergap/internal/graph"
+	"expandergap/internal/solvers"
+)
+
+func TestApproximateMeetsGammaBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	families := map[string]*graph.Graph{
+		"grid":   graph.WithRandomSigns(graph.Grid(6, 6), 0.6, rng),
+		"planar": graph.WithRandomSigns(graph.RandomMaximalPlanar(40, rng), 0.5, rng),
+		"torus":  graph.WithRandomSigns(graph.Torus(5, 5), 0.4, rng),
+	}
+	for name, g := range families {
+		res, err := Approximate(g, Options{Eps: 0.3, Cfg: congest.Config{Seed: 2}})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		gamma := GammaLowerBound(g)
+		// The framework must beat (1-eps) times the γ(G) ≥ |E|/2 bound.
+		if float64(res.Score) < 0.7*float64(gamma) {
+			t.Errorf("%s: score %d below 0.7·γ-bound %d", name, res.Score, gamma)
+		}
+		if 2*res.Score < int64(g.M()) {
+			t.Errorf("%s: score %d below |E|/2", name, res.Score)
+		}
+	}
+}
+
+func TestApproximateRecoversPlantedClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Grid with planted 8-blocks and no noise: positive components are the
+	// blocks; optimal score is |E|.
+	g, planted := graph.WithPlantedSigns(graph.Grid(4, 8), 8, 0, rng)
+	res, err := Approximate(g, Options{Eps: 0.2, Cfg: congest.Config{Seed: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plantedScore := solvers.CorrelationScore(g, planted)
+	if float64(res.Score) < 0.8*float64(plantedScore) {
+		t.Errorf("score %d below 0.8·planted %d", res.Score, plantedScore)
+	}
+}
+
+func TestApproximateValidation(t *testing.T) {
+	if _, err := Approximate(graph.Path(3), Options{Eps: 0.5}); err == nil {
+		t.Error("unsigned graph accepted")
+	}
+	rng := rand.New(rand.NewSource(4))
+	g := graph.WithRandomSigns(graph.Path(3), 0.5, rng)
+	if _, err := Approximate(g, Options{Eps: 0}); err == nil {
+		t.Error("eps=0 accepted")
+	}
+}
+
+func TestDistributedPivotValidAndScored(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.WithRandomSigns(graph.Grid(5, 5), 0.6, rng)
+	labels, metrics, err := DistributedPivot(g, congest.Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != g.N() {
+		t.Fatal("label count wrong")
+	}
+	if metrics.Rounds == 0 {
+		t.Error("pivot should take rounds")
+	}
+	if s := solvers.CorrelationScore(g, labels); s < 0 {
+		t.Errorf("score %d negative", s)
+	}
+}
+
+func TestFrameworkBeatsPivotOnPlanted(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g, _ := graph.WithPlantedSigns(graph.Grid(6, 6), 6, 0.05, rng)
+	fw, err := Approximate(g, Options{Eps: 0.2, Cfg: congest.Config{Seed: 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pivotLabels, _, err := DistributedPivot(g, congest.Config{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pivotScore := solvers.CorrelationScore(g, pivotLabels)
+	if fw.Score < pivotScore {
+		t.Errorf("framework %d worse than pivot baseline %d", fw.Score, pivotScore)
+	}
+}
+
+func TestLabelsAreGloballyConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := graph.WithRandomSigns(graph.TriangulatedGrid(4, 4), 0.5, rng)
+	res, err := Approximate(g, Options{Eps: 0.4, Cfg: congest.Config{Seed: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vertices in different framework clusters must have different labels
+	// (leader-scoped encoding guarantees it).
+	dec := res.Solution.Decomposition
+	for _, e := range g.Edges() {
+		if dec.Assignment[e.U] != dec.Assignment[e.V] && res.Labels[e.U] == res.Labels[e.V] {
+			t.Errorf("cross-cluster label collision on %v", e)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package matching
+
+import (
+	"fmt"
+
+	"expandergap/internal/congest"
+	"expandergap/internal/graph"
+	"expandergap/internal/solvers"
+)
+
+// ThreeAugment improves a maximal matching by repeatedly flipping length-3
+// augmenting paths (free–matched–matched–free), the classic distributed
+// route to a ⅔-approximate MCM that the paper's introduction contrasts with
+// the framework approach. It runs as message passing:
+//
+//	phase round 1: every free vertex offers itself to one matched neighbor
+//	               (random choice), and matched vertices forward the best
+//	               received offer to their partner;
+//	phase round 2: a matched edge (v,w) holding distinct offers u (at v) and
+//	               x (at w) with u ≠ x flips: u–v and w–x become matched;
+//	               both endpoints notify the winners;
+//	phase round 3: winners update state; everyone reconsiders freeness.
+//
+// The phase budget is passed explicitly; each successful flip enlarges the
+// matching by one, and random offer choice makes remaining length-3 paths
+// flip with constant probability per phase, so O(Δ·log n) phases suffice in
+// practice (tests assert the ⅔ quality on planar instances).
+func ThreeAugment(g *graph.Graph, cfg congest.Config, start []int, phases int) (*Result, congest.Metrics, error) {
+	if len(start) != g.N() {
+		return nil, congest.Metrics{}, fmt.Errorf("matching: start matching covers %d of %d vertices", len(start), g.N())
+	}
+	if !solvers.IsMatching(g, start) {
+		return nil, congest.Metrics{}, fmt.Errorf("matching: start is not a matching")
+	}
+	const (
+		msgOffer  = 11 // free -> matched: (kind, offererID)
+		msgRelay  = 12 // matched -> partner: (kind, offererID)
+		msgAccept = 13 // matched -> free winner: (kind)
+	)
+	type state struct {
+		mate      int
+		offerTo   int // port the free vertex offered to this phase
+		gotOffer  int // best offer (vertex ID) received this phase, -1 none
+		offerPort int // port that offer came from
+		relayed   int // partner's offer (vertex ID), -1 none
+	}
+	sim := congest.NewSimulator(g, cfg)
+	res, err := sim.Run(func(v *congest.Vertex) congest.Handler {
+		s := &state{mate: start[v.ID()], offerTo: -1, gotOffer: -1, relayed: -1}
+		return congest.RunFuncs{
+			RoundFn: func(v *congest.Vertex, round int, recv []congest.Incoming) {
+				phase := (round-1)/3 + 1
+				switch round % 3 {
+				case 1:
+					// First, consume accepts from the previous phase (they
+					// were sent in its third round and arrive here): the
+					// offerer marries the accepting matched vertex.
+					for _, in := range recv {
+						if len(in.Msg) == 1 && in.Msg[0] == msgAccept && in.Port == s.offerTo && s.mate == -1 {
+							s.mate = v.NeighborID(in.Port)
+						}
+					}
+					if phase > phases {
+						v.SetOutput(s.mate)
+						v.Halt()
+						return
+					}
+					// Then free vertices offer to one random neighbor
+					// (matched receivers use it, free receivers ignore it),
+					// and matched vertices will relay their best offer to
+					// their partner next round.
+					s.offerTo, s.gotOffer, s.relayed = -1, -1, -1
+					if s.mate == -1 && v.Degree() > 0 {
+						p := v.Rand().Intn(v.Degree())
+						s.offerTo = p
+						v.Send(p, congest.Message{msgOffer, int64(v.ID())})
+					}
+				case 2:
+					if s.mate != -1 {
+						best := -1
+						bestPort := -1
+						for _, in := range recv {
+							if len(in.Msg) == 2 && in.Msg[0] == msgOffer {
+								if int(in.Msg[1]) > best {
+									best = int(in.Msg[1])
+									bestPort = in.Port
+								}
+							}
+						}
+						s.gotOffer, s.offerPort = best, bestPort
+						if mp := v.PortOf(s.mate); mp >= 0 {
+							v.Send(mp, congest.Message{msgRelay, int64(best)})
+						}
+					}
+				case 0:
+					if s.mate != -1 {
+						for _, in := range recv {
+							if len(in.Msg) == 2 && in.Msg[0] == msgRelay && in.From == s.mate {
+								s.relayed = int(in.Msg[1])
+							}
+						}
+						// Flip decision must be symmetric: both endpoints
+						// see (own offer, partner offer). Flip iff both
+						// offers exist and are distinct. The endpoint with
+						// the larger ID takes its own offer; so does the
+						// smaller — each marries its own offerer.
+						if s.gotOffer != -1 && s.relayed != -1 && s.gotOffer != s.relayed {
+							v.Send(s.offerPort, congest.Message{msgAccept})
+							s.mate = s.gotOffer
+						}
+					}
+				}
+			},
+		}
+	})
+	if err != nil {
+		return nil, res.Metrics, err
+	}
+	out := &Result{Mate: make([]int, g.N())}
+	for v := 0; v < g.N(); v++ {
+		out.Mate[v] = -1
+		if m, ok := res.Outputs[v].(int); ok {
+			out.Mate[v] = m
+		}
+	}
+	for v, m := range out.Mate {
+		if m >= 0 && (m >= g.N() || out.Mate[m] != v) {
+			out.Mate[v] = -1
+		}
+	}
+	if !solvers.IsMatching(g, out.Mate) {
+		return nil, res.Metrics, fmt.Errorf("matching: augmentation produced an inconsistent matching")
+	}
+	return out, res.Metrics, nil
+}
+
+// GreedyPlusAugment runs the distributed greedy matcher and then the
+// length-3 augmentation pass — the full ⅔-approximation baseline pipeline.
+func GreedyPlusAugment(g *graph.Graph, cfg congest.Config, phases int) (*Result, congest.Metrics, error) {
+	greedy, m1, err := DistributedGreedy(g, cfg)
+	if err != nil {
+		return nil, m1, err
+	}
+	aug, m2, err := ThreeAugment(g, cfg, greedy.Mate, phases)
+	if err != nil {
+		return nil, m1, err
+	}
+	m1.Add(m2)
+	return aug, m1, nil
+}

@@ -1,0 +1,88 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+
+	"expandergap/internal/congest"
+	"expandergap/internal/graph"
+	"expandergap/internal/solvers"
+)
+
+func TestThreeAugmentFlipsKnownPath(t *testing.T) {
+	// P4 with the middle edge matched: one length-3 augmenting path. After
+	// augmentation the matching must be perfect.
+	g := graph.Path(4)
+	start := []int{-1, 2, 1, -1}
+	res, _, err := ThreeAugment(g, congest.Config{Seed: 1}, start, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Size() != 2 {
+		t.Errorf("after augmentation size = %d, want 2 (perfect)", res.Size())
+	}
+}
+
+func TestThreeAugmentNeverShrinks(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		g := graph.ErdosRenyi(16, 0.25, rng)
+		greedy, _, err := DistributedGreedy(g, congest.Config{Seed: int64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		aug, _, err := ThreeAugment(g, congest.Config{Seed: int64(trial)}, greedy.Mate, 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if aug.Size() < greedy.Size() {
+			t.Errorf("trial %d: augmentation shrank matching %d -> %d",
+				trial, greedy.Size(), aug.Size())
+		}
+		if !solvers.IsMatching(g, aug.Mate) {
+			t.Fatal("invalid matching after augmentation")
+		}
+	}
+}
+
+func TestGreedyPlusAugmentTwoThirds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 5; trial++ {
+		g := graph.RandomPlanar(30, 0.7, rng)
+		res, metrics, err := GreedyPlusAugment(g, congest.Config{Seed: int64(trial + 10)}, 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if metrics.Rounds == 0 {
+			t.Error("no rounds recorded")
+		}
+		opt := solvers.MatchingSize(solvers.MaximumMatching(g))
+		if 3*res.Size() < 2*opt {
+			t.Errorf("trial %d: augmented matching %d below 2/3·OPT (%d)", trial, res.Size(), opt)
+		}
+	}
+}
+
+func TestThreeAugmentValidation(t *testing.T) {
+	g := graph.Path(4)
+	if _, _, err := ThreeAugment(g, congest.Config{}, []int{-1, -1}, 5); err == nil {
+		t.Error("short start accepted")
+	}
+	if _, _, err := ThreeAugment(g, congest.Config{}, []int{1, 0, 3, 1}, 5); err == nil {
+		t.Error("inconsistent start accepted")
+	}
+}
+
+func TestAugmentImprovesBadGreedyOnPaths(t *testing.T) {
+	// Long path: a maximal matching can be as small as ~n/3; augmentation
+	// must push it toward the perfect n/2.
+	g := graph.Path(30)
+	res, _, err := GreedyPlusAugment(g, congest.Config{Seed: 5}, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := solvers.MatchingSize(solvers.MaximumMatching(g)) // 15
+	if 3*res.Size() < 2*opt {
+		t.Errorf("path augmentation %d below 2/3·%d", res.Size(), opt)
+	}
+}

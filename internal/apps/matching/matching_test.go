@@ -1,0 +1,223 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+
+	"expandergap/internal/congest"
+	"expandergap/internal/graph"
+	"expandergap/internal/solvers"
+)
+
+func TestEliminateStarsTwoStar(t *testing.T) {
+	// A 3-star: center 0 with leaves 1,2,3. Keep one leaf, remove two.
+	g := graph.Star(3)
+	removed, _, err := EliminateStars(g, congest.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for v := 1; v <= 3; v++ {
+		if removed[v] {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Errorf("removed %d leaves, want 2", count)
+	}
+	if removed[0] {
+		t.Error("center must stay")
+	}
+}
+
+func TestEliminateStarsDoubleStar(t *testing.T) {
+	// 4-double-star: x=0, y=1, plus 4 degree-2 vertices each adjacent to
+	// both. Keep two, remove two.
+	b := graph.NewBuilder(6)
+	for v := 2; v < 6; v++ {
+		b.AddEdge(0, v)
+		b.AddEdge(1, v)
+	}
+	g := b.Graph()
+	removed, _, err := EliminateStars(g, congest.Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for v := 2; v < 6; v++ {
+		if removed[v] {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Errorf("removed %d double-star leaves, want 2", count)
+	}
+	if removed[0] || removed[1] {
+		t.Error("hubs must stay")
+	}
+}
+
+func TestEliminateStarsPreservesMatchingSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		base := graph.RandomPlanar(14, 0.7, rng)
+		g := graph.AttachPendantStars(base, []int{0, 3, 7}, 4)
+		removed, _, err := EliminateStars(g, congest.Config{Seed: int64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bld := graph.NewBuilder(g.N())
+		for _, e := range g.Edges() {
+			if !removed[e.U] && !removed[e.V] {
+				bld.AddEdge(e.U, e.V)
+			}
+		}
+		gBar := bld.Graph()
+		before := solvers.MatchingSize(solvers.MaximumMatching(g))
+		after := solvers.MatchingSize(solvers.MaximumMatching(gBar))
+		if before != after {
+			t.Errorf("trial %d: elimination changed MCM: %d -> %d", trial, before, after)
+		}
+	}
+}
+
+func TestApproximateMCMOnGrid(t *testing.T) {
+	g := graph.Grid(6, 6)
+	res, err := ApproximateMCM(g, Options{Eps: 0.3, Cfg: congest.Config{Seed: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !solvers.IsMatching(g, res.Mate) {
+		t.Fatal("not a matching")
+	}
+	opt := solvers.MatchingSize(solvers.MaximumMatching(g))
+	got := res.Size()
+	if float64(got) < 0.7*float64(opt) {
+		t.Errorf("MCM size %d below (1-eps)·OPT = 0.7·%d", got, opt)
+	}
+}
+
+func TestApproximateMCMWithPendantStars(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	base := graph.RandomPlanar(30, 0.7, rng)
+	g := graph.AttachPendantStars(base, []int{0, 5, 10, 15}, 5)
+	res, err := ApproximateMCM(g, Options{Eps: 0.25, Cfg: congest.Config{Seed: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !solvers.IsMatching(g, res.Mate) {
+		t.Fatal("not a matching")
+	}
+	opt := solvers.MatchingSize(solvers.MaximumMatching(g))
+	if float64(res.Size()) < 0.75*float64(opt) {
+		t.Errorf("size %d vs opt %d below 1-eps", res.Size(), opt)
+	}
+	// Some star leaves must have been eliminated.
+	any := false
+	for _, r := range res.Eliminated {
+		any = any || r
+	}
+	if !any {
+		t.Error("pendant stars should trigger eliminations")
+	}
+}
+
+func TestApproximateMWMQuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	base := graph.Grid(5, 5)
+	g := graph.WithRandomWeights(base, 20, rng)
+	res, err := ApproximateMWM(g, Options{Eps: 0.3, Cfg: congest.Config{Seed: 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !solvers.IsMatching(g, res.Mate) {
+		t.Fatal("not a matching")
+	}
+	// Reference: greedy gives >= OPT/2, so 2·greedy >= OPT >= framework.
+	grd := solvers.MatchingWeight(g, solvers.GreedyMatching(g))
+	got := res.Weight(g)
+	if float64(got) < 0.7*float64(grd) {
+		t.Errorf("MWM weight %d far below greedy reference %d", got, grd)
+	}
+}
+
+func TestApproximateValidation(t *testing.T) {
+	g := graph.Path(4)
+	if _, err := ApproximateMCM(g, Options{Eps: 0}); err == nil {
+		t.Error("eps=0 accepted by MCM")
+	}
+	if _, err := ApproximateMWM(g, Options{Eps: 1}); err == nil {
+		t.Error("eps=1 accepted by MWM")
+	}
+}
+
+func TestDistributedGreedyMaximal(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 5; trial++ {
+		g := graph.ErdosRenyi(20, 0.2, rng)
+		res, _, err := DistributedGreedy(g, congest.Config{Seed: int64(trial + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !solvers.IsMatching(g, res.Mate) {
+			t.Fatal("greedy not a matching")
+		}
+		for _, e := range g.Edges() {
+			if res.Mate[e.U] == -1 && res.Mate[e.V] == -1 {
+				t.Fatalf("trial %d: matching not maximal at %v", trial, e)
+			}
+		}
+		opt := solvers.MatchingSize(solvers.MaximumMatching(g))
+		if 2*res.Size() < opt {
+			t.Errorf("maximal matching %d below OPT/2 (%d)", res.Size(), opt)
+		}
+	}
+}
+
+func TestDistributedGreedyWeightsPreferHeavy(t *testing.T) {
+	// Path of 3 edges with middle weight dominating: greedy takes middle.
+	b := graph.NewBuilder(4)
+	b.AddWeightedEdge(0, 1, 1)
+	b.AddWeightedEdge(1, 2, 100)
+	b.AddWeightedEdge(2, 3, 1)
+	g := b.Graph()
+	res, _, err := DistributedGreedy(g, congest.Config{Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mate[1] != 2 || res.Mate[2] != 1 {
+		t.Errorf("greedy should match the heavy edge; mate = %v", res.Mate)
+	}
+}
+
+func TestMCMOnBoundedGenusViaUnitWeights(t *testing.T) {
+	// Theorem 1.1 covers all H-minor-free graphs; with unit weights the MWM
+	// pipeline is an MCM algorithm beyond planarity (torus, double torus).
+	for _, g := range []*graph.Graph{graph.Torus(5, 5), graph.DoubleTorus(4)} {
+		res, err := ApproximateMWM(g, Options{Eps: 0.25, Cfg: congest.Config{Seed: 3}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !solvers.IsMatching(g, res.Mate) {
+			t.Fatal("not a matching")
+		}
+		opt := solvers.MatchingSize(solvers.MaximumMatching(g))
+		if float64(res.Size()) < 0.75*float64(opt) {
+			t.Errorf("%v: MCM-via-MWM %d below 0.75·OPT %d", g, res.Size(), opt)
+		}
+	}
+}
+
+func TestFrameworkBeatsGreedyOnCardinality(t *testing.T) {
+	// A path has a perfect-ish matching; greedy randomized matchings can be
+	// smaller. The framework must reach (1-eps)·OPT.
+	g := graph.Grid(4, 8)
+	fw, err := ApproximateMCM(g, Options{Eps: 0.2, Cfg: congest.Config{Seed: 17}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := solvers.MatchingSize(solvers.MaximumMatching(g))
+	if float64(fw.Size()) < 0.8*float64(opt) {
+		t.Errorf("framework %d below 0.8·OPT (%d)", fw.Size(), opt)
+	}
+}

@@ -1,0 +1,107 @@
+package maxis
+
+import (
+	"math/rand"
+	"testing"
+
+	"expandergap/internal/congest"
+	"expandergap/internal/graph"
+	"expandergap/internal/solvers"
+)
+
+func uniformWeights(n int, w int64) []int64 {
+	ws := make([]int64, n)
+	for i := range ws {
+		ws[i] = w
+	}
+	return ws
+}
+
+func TestApproximateWeightedUniformMatchesCardinality(t *testing.T) {
+	g := graph.Grid(6, 6)
+	res, err := ApproximateWeighted(g, uniformWeights(g.N(), 1), Options{
+		Eps: 0.25, Cfg: congest.Config{Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !solvers.IsIndependentSet(g, res.Set) {
+		t.Fatal("weighted result not independent")
+	}
+	opt := len(solvers.MaximumIndependentSet(g))
+	if float64(len(res.Set)) < 0.75*float64(opt) {
+		t.Errorf("uniform-weight IS %d below 0.75·%d", len(res.Set), opt)
+	}
+	if res.Weight != int64(len(res.Set)) {
+		t.Errorf("weight %d != size %d under unit weights", res.Weight, len(res.Set))
+	}
+}
+
+func TestApproximateWeightedPrefersHeavyVertices(t *testing.T) {
+	// Star: center weight 100, leaves weight 1 each. Optimal weighted IS is
+	// the center alone when leaves sum below it.
+	g := graph.Star(5)
+	w := []int64{100, 1, 1, 1, 1, 1}
+	res, err := ApproximateWeighted(g, w, Options{Eps: 0.2, Cfg: congest.Config{Seed: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Weight != 100 {
+		t.Errorf("weighted IS weight = %d, want 100 (center)", res.Weight)
+	}
+}
+
+func TestApproximateWeightedAgainstExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 5; trial++ {
+		g := graph.RandomMaximalPlanar(30, rng)
+		w := make([]int64, g.N())
+		for i := range w {
+			w[i] = 1 + rng.Int63n(50)
+		}
+		res, err := ApproximateWeighted(g, w, Options{Eps: 0.25, Cfg: congest.Config{Seed: int64(trial)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !solvers.IsIndependentSet(g, res.Set) {
+			t.Fatal("not independent")
+		}
+		optSet := solvers.MaximumWeightIndependentSet(g, w)
+		var optW int64
+		for _, v := range optSet {
+			optW += w[v]
+		}
+		if float64(res.Weight) < 0.7*float64(optW) {
+			t.Errorf("trial %d: weight %d below 0.7·OPT %d", trial, res.Weight, optW)
+		}
+	}
+}
+
+func TestApproximateWeightedValidation(t *testing.T) {
+	g := graph.Path(4)
+	if _, err := ApproximateWeighted(g, uniformWeights(4, 1), Options{Eps: 0}); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := ApproximateWeighted(g, uniformWeights(3, 1), Options{Eps: 0.5}); err == nil {
+		t.Error("short weights accepted")
+	}
+	if _, err := ApproximateWeighted(g, []int64{1, -2, 1, 1}, Options{Eps: 0.5}); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestGreedyWeightedIsIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.RandomMaximalPlanar(80, rng)
+	w := make([]int64, g.N())
+	for i := range w {
+		w[i] = 1 + rng.Int63n(20)
+	}
+	set := greedyWeighted(g, w)
+	if !solvers.IsIndependentSet(g, set) {
+		t.Error("greedyWeighted produced a dependent set")
+	}
+	if len(set) == 0 {
+		t.Error("empty greedy set")
+	}
+}

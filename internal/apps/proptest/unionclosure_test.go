@@ -1,0 +1,91 @@
+package proptest
+
+import (
+	"math/rand"
+	"testing"
+
+	"expandergap/internal/congest"
+	"expandergap/internal/graph"
+	"expandergap/internal/minor"
+)
+
+// Theorem 1.4 requires the property to be closed under disjoint union, and
+// the paper proves (full version) that the requirement is necessary. This
+// file demonstrates both directions empirically: union-closed properties
+// beyond planarity test correctly, and a minor-closed but NOT union-closed
+// property defeats the algorithm exactly as the theory predicts.
+
+func TestOuterplanarPropertyTester(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := minor.Outerplanarity()
+	good := graph.RandomOuterplanar(40, rng)
+	v, err := Test(good, p, Options{Eps: 0.2, Cfg: congest.Config{Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.AllAccept {
+		t.Error("outerplanar input rejected")
+	}
+	// Disjoint K4s: each copy needs an edit — far from outerplanar.
+	bad := DisjointForbiddenCliques(4, 8)
+	v2, err := Test(bad, p, Options{Eps: 0.1, Cfg: congest.Config{Seed: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.AllAccept {
+		t.Error("disjoint K4s accepted by outerplanarity tester")
+	}
+}
+
+func TestTreewidth2PropertyTester(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := minor.TreewidthAtMost2()
+	good := graph.KTree(40, 2, rng)
+	v, err := Test(good, p, Options{Eps: 0.2, Cfg: congest.Config{Seed: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.AllAccept {
+		t.Error("2-tree rejected by treewidth tester")
+	}
+	bad := DisjointForbiddenCliques(4, 8)
+	v2, err := Test(bad, p, Options{Eps: 0.1, Cfg: congest.Config{Seed: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.AllAccept {
+		t.Error("disjoint K4s accepted by treewidth tester")
+	}
+}
+
+// atMostEdges is minor-closed (removing edges/vertices and contracting never
+// adds edges) but NOT closed under disjoint union. It defeats the framework
+// tester: every cluster individually satisfies the bound, so all vertices
+// accept an input that is globally far from the property — the paper's
+// necessity observation for the union-closure requirement.
+func atMostEdges(k int) minor.Property {
+	return minor.Property{
+		Name:  "at-most-k-edges",
+		Check: func(g *graph.Graph) bool { return g.M() <= k },
+	}
+}
+
+func TestUnionClosureIsNecessary(t *testing.T) {
+	// 20 disjoint triangles: 60 edges total. The property "at most 10
+	// edges" fails globally and needs 50 removals (5/6 of the edges), so
+	// the graph is 0.5-far. Yet every framework cluster is a subset of one
+	// triangle (3 edges each), so every leader accepts.
+	g := DisjointForbiddenCliques(3, 20)
+	p := atMostEdges(10)
+	if p.Holds(g) {
+		t.Fatal("global property should fail")
+	}
+	v, err := Test(g, p, Options{Eps: 0.5, Cfg: congest.Config{Seed: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.AllAccept {
+		t.Error("expected the tester to be defeated (this documents why Thm 1.4 " +
+			"requires union closure); it rejected instead")
+	}
+}

@@ -1,0 +1,491 @@
+// Package conductance implements the spectral toolkit of Section 2 of the
+// paper: cut conductance and sparsity, exact graph conductance for small
+// graphs, Cheeger-style spectral bounds via power iteration on the lazy
+// random walk, sweep cuts, exact lazy-walk distribution evolution, and
+// mixing-time estimation.
+//
+// These quantities define the (ε, φ) expander decomposition contract
+// (every cluster must satisfy Φ(G_i) ≥ φ) and drive the random-walk routing
+// analysis of Lemma 2.4, so everything downstream depends on this package.
+package conductance
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"expandergap/internal/graph"
+)
+
+// CutSize returns |∂(S)|: the number of edges with exactly one endpoint in s.
+func CutSize(g *graph.Graph, s map[int]bool) int {
+	return len(g.CutEdges(s))
+}
+
+// CutConductance returns Φ(S) = |∂(S)| / min(vol(S), vol(V\S)) as defined in
+// Section 2 of the paper. By convention Φ(∅) = Φ(V) = 0. A cut with
+// min-volume 0 (isolated vertices only on one side) has conductance +Inf
+// unless it is also edgeless, in which case 0.
+func CutConductance(g *graph.Graph, s map[int]bool) float64 {
+	inCount := 0
+	volS := 0
+	for v := 0; v < g.N(); v++ {
+		if s[v] {
+			inCount++
+			volS += g.Degree(v)
+		}
+	}
+	if inCount == 0 || inCount == g.N() {
+		return 0
+	}
+	volRest := 2*g.M() - volS
+	minVol := volS
+	if volRest < minVol {
+		minVol = volRest
+	}
+	cut := CutSize(g, s)
+	if minVol == 0 {
+		if cut == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return float64(cut) / float64(minVol)
+}
+
+// CutSparsity returns Ψ(S) = |∂(S)| / min(|S|, |V\S|), the vertex-count
+// analogue of conductance used by the deterministic routing reduction
+// (Lemma 2.5).
+func CutSparsity(g *graph.Graph, s map[int]bool) float64 {
+	inCount := 0
+	for v := 0; v < g.N(); v++ {
+		if s[v] {
+			inCount++
+		}
+	}
+	if inCount == 0 || inCount == g.N() {
+		return 0
+	}
+	minSide := inCount
+	if rest := g.N() - inCount; rest < minSide {
+		minSide = rest
+	}
+	return float64(CutSize(g, s)) / float64(minSide)
+}
+
+// MaxExactN is the largest graph size for which ExactConductance enumerates
+// all cuts (2^(n-1) subsets).
+const MaxExactN = 22
+
+// ExactConductance returns Φ(G) = min over all non-trivial cuts of Φ(S),
+// computed by exhaustive enumeration. It panics for graphs larger than
+// MaxExactN vertices; callers should fall back to SpectralBounds. For a
+// disconnected graph the result is 0 (any component is a cut with no
+// crossing edges). An empty or single-vertex graph has conductance 0 by
+// convention.
+func ExactConductance(g *graph.Graph) float64 {
+	n := g.N()
+	if n > MaxExactN {
+		panic(fmt.Sprintf("conductance: ExactConductance limited to n <= %d, got %d", MaxExactN, n))
+	}
+	if n <= 1 {
+		return 0
+	}
+	deg := make([]int, n)
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(v)
+	}
+	totalVol := 2 * g.M()
+	edges := g.Edges()
+	best := math.Inf(1)
+	// Fix vertex n-1 outside S to halve the enumeration.
+	for mask := 1; mask < 1<<(n-1); mask++ {
+		volS := 0
+		for v := 0; v < n-1; v++ {
+			if mask&(1<<v) != 0 {
+				volS += deg[v]
+			}
+		}
+		cut := 0
+		for _, e := range edges {
+			inU := e.U < n-1 && mask&(1<<e.U) != 0
+			inV := e.V < n-1 && mask&(1<<e.V) != 0
+			if inU != inV {
+				cut++
+			}
+		}
+		minVol := volS
+		if rest := totalVol - volS; rest < minVol {
+			minVol = rest
+		}
+		var phi float64
+		switch {
+		case minVol == 0 && cut == 0:
+			phi = 0
+		case minVol == 0:
+			phi = math.Inf(1)
+		default:
+			phi = float64(cut) / float64(minVol)
+		}
+		if phi < best {
+			best = phi
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 0
+	}
+	return best
+}
+
+// LazyWalkStep advances one step of the uniform lazy random walk: the new
+// distribution is p'(u) = p(u)/2 + Σ_{w∈N(u)} p(w)/(2 deg(w)). dst and src
+// must have length g.N(); dst is overwritten. Vertices of degree 0 keep all
+// their mass.
+func LazyWalkStep(g *graph.Graph, dst, src []float64) {
+	for u := range dst {
+		dst[u] = src[u] / 2
+	}
+	for v := 0; v < g.N(); v++ {
+		d := g.Degree(v)
+		if d == 0 {
+			dst[v] += src[v] / 2
+			continue
+		}
+		share := src[v] / (2 * float64(d))
+		g.ForEachNeighbor(v, func(u, _ int) {
+			dst[u] += share
+		})
+	}
+}
+
+// WalkDistribution returns the exact distribution of a lazy random walk
+// started at src after the given number of steps.
+func WalkDistribution(g *graph.Graph, src, steps int) []float64 {
+	p := make([]float64, g.N())
+	q := make([]float64, g.N())
+	p[src] = 1
+	for i := 0; i < steps; i++ {
+		LazyWalkStep(g, q, p)
+		p, q = q, p
+	}
+	return p
+}
+
+// StationaryDistribution returns π(u) = deg(u)/vol(V) for a connected graph.
+func StationaryDistribution(g *graph.Graph) []float64 {
+	pi := make([]float64, g.N())
+	vol := float64(2 * g.M())
+	if vol == 0 {
+		for i := range pi {
+			pi[i] = 1 / float64(g.N())
+		}
+		return pi
+	}
+	for v := 0; v < g.N(); v++ {
+		pi[v] = float64(g.Degree(v)) / vol
+	}
+	return pi
+}
+
+// MixingTime returns the paper's τ_mix(G): the smallest t such that for all
+// start vertices v and targets u, |p_t^v(u) − π(u)| ≤ π(u)/n. maxSteps caps
+// the search; the boolean result is false if the bound was not reached.
+// Exact (propagates full distributions), so intended for modest n.
+func MixingTime(g *graph.Graph, maxSteps int) (int, bool) {
+	n := g.N()
+	if n <= 1 {
+		return 0, true
+	}
+	pi := StationaryDistribution(g)
+	// Evolve all start distributions simultaneously: dist[v] is the walk
+	// distribution started at v.
+	dists := make([][]float64, n)
+	scratch := make([]float64, n)
+	for v := range dists {
+		dists[v] = make([]float64, n)
+		dists[v][v] = 1
+	}
+	check := func() bool {
+		for v := 0; v < n; v++ {
+			for u := 0; u < n; u++ {
+				if math.Abs(dists[v][u]-pi[u]) > pi[u]/float64(n) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if check() {
+		return 0, true
+	}
+	for t := 1; t <= maxSteps; t++ {
+		for v := 0; v < n; v++ {
+			LazyWalkStep(g, scratch, dists[v])
+			copy(dists[v], scratch)
+		}
+		if check() {
+			return t, true
+		}
+	}
+	return maxSteps, false
+}
+
+// SpectralGap estimates 1 − λ2 of the lazy random walk transition matrix by
+// power iteration with deflation against the stationary component, using the
+// symmetric normalization D^{-1/2} W D^{1/2}. Returns the gap estimate.
+// For a disconnected graph the gap is ~0.
+func SpectralGap(g *graph.Graph, iters int, rng *rand.Rand) float64 {
+	n := g.N()
+	if n <= 1 {
+		return 1
+	}
+	// Top eigenvector of the symmetrized lazy walk is d^{1/2}.
+	sqrtD := make([]float64, n)
+	for v := 0; v < n; v++ {
+		sqrtD[v] = math.Sqrt(float64(g.Degree(v)))
+	}
+	normalize := func(x []float64) {
+		var s float64
+		for _, xi := range x {
+			s += xi * xi
+		}
+		s = math.Sqrt(s)
+		if s == 0 {
+			return
+		}
+		for i := range x {
+			x[i] /= s
+		}
+	}
+	deflate := func(x []float64) {
+		var dot, dd float64
+		for i := range x {
+			dot += x[i] * sqrtD[i]
+			dd += sqrtD[i] * sqrtD[i]
+		}
+		if dd == 0 {
+			return
+		}
+		c := dot / dd
+		for i := range x {
+			x[i] -= c * sqrtD[i]
+		}
+	}
+	// S = D^{-1/2} W D^{1/2} where W = I/2 + A D^{-1}/2 acting on column
+	// distributions; symmetric form: S = I/2 + D^{-1/2} A D^{-1/2} / 2.
+	apply := func(dst, src []float64) {
+		for i := range dst {
+			dst[i] = src[i] / 2
+		}
+		for v := 0; v < n; v++ {
+			if g.Degree(v) == 0 {
+				dst[v] += src[v] / 2
+				continue
+			}
+			g.ForEachNeighbor(v, func(u, _ int) {
+				dst[u] += src[v] / (2 * sqrtD[u] * sqrtD[v])
+			})
+		}
+	}
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64() - 0.5
+	}
+	deflate(x)
+	normalize(x)
+	lambda := 0.0
+	for it := 0; it < iters; it++ {
+		apply(y, x)
+		deflate(y)
+		// Rayleigh quotient estimate.
+		var num, den float64
+		for i := range y {
+			num += y[i] * x[i]
+			den += x[i] * x[i]
+		}
+		if den > 0 {
+			lambda = num / den
+		}
+		copy(x, y)
+		normalize(x)
+	}
+	return 1 - lambda
+}
+
+// SweepCut orders vertices by score and returns the prefix cut with the
+// minimum conductance, as the set of vertices on the low-score side, along
+// with its conductance. Both sides of the returned cut are non-empty.
+// It returns nil for graphs with fewer than 2 vertices.
+func SweepCut(g *graph.Graph, score []float64) (map[int]bool, float64) {
+	n := g.N()
+	if n < 2 {
+		return nil, 0
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if score[order[a]] != score[order[b]] {
+			return score[order[a]] < score[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	inS := make([]bool, n)
+	volS := 0
+	cut := 0
+	totalVol := 2 * g.M()
+	bestPhi := math.Inf(1)
+	bestK := 0
+	for k := 0; k < n-1; k++ {
+		v := order[k]
+		inS[v] = true
+		volS += g.Degree(v)
+		g.ForEachNeighbor(v, func(u, _ int) {
+			if inS[u] {
+				cut--
+			} else {
+				cut++
+			}
+		})
+		minVol := volS
+		if rest := totalVol - volS; rest < minVol {
+			minVol = rest
+		}
+		var phi float64
+		switch {
+		case minVol == 0 && cut == 0:
+			phi = math.Inf(1) // useless cut; skip by treating as infinite
+		case minVol == 0:
+			phi = math.Inf(1)
+		default:
+			phi = float64(cut) / float64(minVol)
+		}
+		if phi < bestPhi {
+			bestPhi = phi
+			bestK = k + 1
+		}
+	}
+	if math.IsInf(bestPhi, 1) {
+		// No informative cut (e.g. edgeless graph): return the first vertex.
+		bestPhi = 0
+		bestK = 1
+	}
+	s := make(map[int]bool, bestK)
+	for _, v := range order[:bestK] {
+		s[v] = true
+	}
+	return s, bestPhi
+}
+
+// FiedlerScores returns an approximate second eigenvector of the symmetrized
+// lazy walk (rescaled to act as per-vertex scores), suitable for SweepCut.
+func FiedlerScores(g *graph.Graph, iters int, rng *rand.Rand) []float64 {
+	n := g.N()
+	scores := make([]float64, n)
+	if n <= 2 {
+		for i := range scores {
+			scores[i] = float64(i)
+		}
+		return scores
+	}
+	sqrtD := make([]float64, n)
+	for v := 0; v < n; v++ {
+		sqrtD[v] = math.Sqrt(float64(g.Degree(v)) + 1e-12)
+	}
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64() - 0.5
+	}
+	deflate := func(v []float64) {
+		var dot, dd float64
+		for i := range v {
+			dot += v[i] * sqrtD[i]
+			dd += sqrtD[i] * sqrtD[i]
+		}
+		c := dot / dd
+		for i := range v {
+			v[i] -= c * sqrtD[i]
+		}
+	}
+	normalize := func(v []float64) {
+		var s float64
+		for _, vi := range v {
+			s += vi * vi
+		}
+		s = math.Sqrt(s)
+		if s == 0 {
+			return
+		}
+		for i := range v {
+			v[i] /= s
+		}
+	}
+	apply := func(dst, src []float64) {
+		for i := range dst {
+			dst[i] = src[i] / 2
+		}
+		for v := 0; v < n; v++ {
+			if g.Degree(v) == 0 {
+				dst[v] += src[v] / 2
+				continue
+			}
+			g.ForEachNeighbor(v, func(u, _ int) {
+				dst[u] += src[v] / (2 * sqrtD[u] * sqrtD[v])
+			})
+		}
+	}
+	deflate(x)
+	normalize(x)
+	for it := 0; it < iters; it++ {
+		apply(y, x)
+		deflate(y)
+		normalize(y)
+		copy(x, y)
+	}
+	for v := 0; v < n; v++ {
+		scores[v] = x[v] / sqrtD[v]
+	}
+	return scores
+}
+
+// Bounds holds a certified interval for the conductance of a graph.
+type Bounds struct {
+	Lower float64
+	Upper float64
+}
+
+// EstimateBounds returns conductance bounds: the upper bound comes from the
+// best spectral sweep cut found (a genuine cut, hence a true upper bound);
+// the lower bound comes from Cheeger's inequality applied to the estimated
+// spectral gap, Φ ≥ gap/2 for the lazy walk normalization.
+func EstimateBounds(g *graph.Graph, iters int, rng *rand.Rand) Bounds {
+	if g.N() <= 1 || g.M() == 0 {
+		return Bounds{}
+	}
+	gap := SpectralGap(g, iters, rng)
+	scores := FiedlerScores(g, iters, rng)
+	_, upper := SweepCut(g, scores)
+	lower := gap / 2
+	if lower < 0 {
+		lower = 0
+	}
+	if lower > upper {
+		lower = upper // numerical safety: keep interval consistent
+	}
+	return Bounds{Lower: lower, Upper: upper}
+}
+
+// Conductance returns the exact conductance when n ≤ MaxExactN and otherwise
+// the sweep-cut upper bound (a true cut value). The boolean reports whether
+// the value is exact.
+func Conductance(g *graph.Graph, rng *rand.Rand) (float64, bool) {
+	if g.N() <= MaxExactN {
+		return ExactConductance(g), true
+	}
+	b := EstimateBounds(g, 200, rng)
+	return b.Upper, false
+}

@@ -1,0 +1,119 @@
+package conductance
+
+import (
+	"sort"
+
+	"expandergap/internal/graph"
+)
+
+// ApproximatePageRank computes an ε-approximate personalized PageRank vector
+// from the seed vertex with teleport probability alpha, using the classic
+// push algorithm (Andersen–Chung–Lang): maintain (p, r) with p the current
+// approximation and r the residual; repeatedly push at vertices whose
+// residual exceeds epsPush·deg. The result satisfies
+// p(v) ≤ ppr(v) ≤ p(v) + epsPush·deg(v) for all v.
+func ApproximatePageRank(g *graph.Graph, seed int, alpha, epsPush float64) map[int]float64 {
+	p := make(map[int]float64)
+	r := map[int]float64{seed: 1}
+	queue := []int{seed}
+	inQueue := map[int]bool{seed: true}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		inQueue[u] = false
+		deg := g.Degree(u)
+		if deg == 0 {
+			p[u] += r[u]
+			r[u] = 0
+			continue
+		}
+		ru := r[u]
+		if ru < epsPush*float64(deg) {
+			continue
+		}
+		p[u] += alpha * ru
+		share := (1 - alpha) * ru / (2 * float64(deg))
+		r[u] = (1 - alpha) * ru / 2
+		if r[u] >= epsPush*float64(deg) && !inQueue[u] {
+			queue = append(queue, u)
+			inQueue[u] = true
+		}
+		g.ForEachNeighbor(u, func(v, _ int) {
+			r[v] += share
+			if r[v] >= epsPush*float64(g.Degree(v)) && !inQueue[v] {
+				queue = append(queue, v)
+				inQueue[v] = true
+			}
+		})
+	}
+	return p
+}
+
+// Nibble runs the PageRank-Nibble local clustering: compute an approximate
+// PPR vector from the seed, order touched vertices by p(v)/deg(v), and
+// return the best sweep-cut prefix together with its conductance. It only
+// ever touches O(1/(alpha·epsPush)) vertices, which is what makes it the
+// local-clustering primitive behind nibble-style expander decompositions.
+// Returns nil when no non-trivial cut exists among touched vertices.
+func Nibble(g *graph.Graph, seed int, alpha, epsPush float64) (map[int]bool, float64) {
+	p := ApproximatePageRank(g, seed, alpha, epsPush)
+	type scored struct {
+		v     int
+		score float64
+	}
+	var order []scored
+	for v, pv := range p {
+		d := g.Degree(v)
+		if d == 0 || pv <= 0 {
+			continue
+		}
+		order = append(order, scored{v: v, score: pv / float64(d)})
+	}
+	if len(order) == 0 {
+		return nil, 0
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].score != order[j].score {
+			return order[i].score > order[j].score
+		}
+		return order[i].v < order[j].v
+	})
+	totalVol := 2 * g.M()
+	inS := make(map[int]bool, len(order))
+	volS := 0
+	cut := 0
+	best := -1
+	bestPhi := 2.0
+	for k, sc := range order {
+		v := sc.v
+		inS[v] = true
+		volS += g.Degree(v)
+		g.ForEachNeighbor(v, func(u, _ int) {
+			if inS[u] {
+				cut--
+			} else {
+				cut++
+			}
+		})
+		minVol := volS
+		if rest := totalVol - volS; rest < minVol {
+			minVol = rest
+		}
+		if minVol <= 0 {
+			continue
+		}
+		phi := float64(cut) / float64(minVol)
+		if phi < bestPhi {
+			bestPhi = phi
+			best = k
+		}
+	}
+	if best < 0 {
+		return nil, 0
+	}
+	s := make(map[int]bool, best+1)
+	for _, sc := range order[:best+1] {
+		s[sc.v] = true
+	}
+	return s, bestPhi
+}

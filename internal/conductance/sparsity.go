@@ -1,0 +1,62 @@
+package conductance
+
+import (
+	"fmt"
+	"math"
+
+	"expandergap/internal/graph"
+)
+
+// ExactSparsity returns Ψ(G) = min over non-trivial cuts of
+// |∂S| / min(|S|, |V\S|), the vertex-count analogue of conductance used by
+// the deterministic routing reduction (Lemma 2.5). Exhaustive; panics for
+// n > MaxExactN. Disconnected graphs have sparsity 0.
+func ExactSparsity(g *graph.Graph) float64 {
+	n := g.N()
+	if n > MaxExactN {
+		panic(fmt.Sprintf("conductance: ExactSparsity limited to n <= %d, got %d", MaxExactN, n))
+	}
+	if n <= 1 {
+		return 0
+	}
+	edges := g.Edges()
+	best := math.Inf(1)
+	for mask := 1; mask < 1<<(n-1); mask++ {
+		size := 0
+		for v := 0; v < n-1; v++ {
+			if mask&(1<<v) != 0 {
+				size++
+			}
+		}
+		cut := 0
+		for _, e := range edges {
+			inU := e.U < n-1 && mask&(1<<e.U) != 0
+			inV := e.V < n-1 && mask&(1<<e.V) != 0
+			if inU != inV {
+				cut++
+			}
+		}
+		minSide := size
+		if rest := n - size; rest < minSide {
+			minSide = rest
+		}
+		if psi := float64(cut) / float64(minSide); psi < best {
+			best = psi
+		}
+	}
+	return best
+}
+
+// SparsityConductanceRelation checks the standard sandwich
+// Φ(G) ≤ Ψ(G) ≤ Δ·Φ(G) used when moving between the two quantities in
+// Lemma 2.5's preprocessing ([20, Lemma C.2]); it returns the two ratios
+// Ψ/Φ (must be ≥ 1) and Ψ/(Δ·Φ) (must be ≤ 1) for a connected graph.
+func SparsityConductanceRelation(g *graph.Graph) (lower, upper float64) {
+	phi := ExactConductance(g)
+	psi := ExactSparsity(g)
+	if phi == 0 {
+		return 0, 0
+	}
+	d := float64(g.MaxDegree())
+	return psi / phi, psi / (d * phi)
+}

@@ -1,0 +1,65 @@
+package conductance
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"expandergap/internal/graph"
+)
+
+func TestExactSparsityKnown(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want float64
+	}{
+		{"P4", graph.Path(4), 0.5},         // middle cut 1 / min(2,2)
+		{"C6", graph.Cycle(6), 2.0 / 3.0},  // antipodal 2/3
+		{"K4", graph.Complete(4), 2.0},     // balanced 2|2 split: 4/2
+		{"star", graph.Star(4), 1.0 / 1.0}, // one leaf: 1/1
+		{"disconnected", graph.Disjoint(graph.Path(2), graph.Path(2)), 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := ExactSparsity(tc.g); math.Abs(got-tc.want) > 1e-12 {
+				t.Errorf("Ψ = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestExactSparsityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic above MaxExactN")
+		}
+	}()
+	ExactSparsity(graph.Path(MaxExactN + 1))
+}
+
+// Property: Φ ≤ Ψ ≤ Δ·Φ on connected graphs ([20, Lemma C.2] direction used
+// by Lemma 2.5).
+func TestQuickSparsityConductanceSandwich(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(8)
+		g := graph.ErdosRenyi(n, 0.6, rng)
+		if !g.Connected() || g.M() == 0 {
+			return true
+		}
+		lower, upper := SparsityConductanceRelation(g)
+		return lower >= 1-1e-9 && upper <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSparsityRelationDegenerate(t *testing.T) {
+	lower, upper := SparsityConductanceRelation(graph.Disjoint(graph.Path(2), graph.Path(2)))
+	if lower != 0 || upper != 0 {
+		t.Error("disconnected relation should be zero")
+	}
+}

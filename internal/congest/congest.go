@@ -1,0 +1,409 @@
+// Package congest implements a synchronous message-passing simulator for the
+// LOCAL and CONGEST models of distributed computing, the execution substrate
+// for every distributed algorithm in this repository.
+//
+// Model semantics follow the paper's Section 1: vertices host processors and
+// operate in synchronized rounds; in each round every vertex may send one
+// message to each of its neighbors, receives the messages its neighbors sent
+// this round, and performs arbitrary local computation. In the LOCAL model
+// messages are unbounded; in the CONGEST model each message is limited to
+// O(log n) bits.
+//
+// Messages are tuples of integer words. In CONGEST mode a message may carry
+// at most Config.MaxWords words and each word must satisfy |w| ≤ max(n², 2¹⁶)
+// — i.e. a word is Θ(log n) bits — so a message is Θ(log n) bits total.
+// Violations panic: an algorithm that breaks the model is a programming
+// error, not a runtime condition.
+//
+// Execution is deterministic given Config.Seed: every vertex receives its own
+// seeded PRNG stream, and vertices are always processed in ID order.
+package congest
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"expandergap/internal/graph"
+)
+
+// Model selects the message-size regime.
+type Model int
+
+const (
+	// CONGEST limits messages to Θ(log n) bits.
+	CONGEST Model = iota + 1
+	// LOCAL allows unbounded messages.
+	LOCAL
+)
+
+// String implements fmt.Stringer.
+func (m Model) String() string {
+	switch m {
+	case CONGEST:
+		return "CONGEST"
+	case LOCAL:
+		return "LOCAL"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// Message is a tuple of integer words exchanged along one edge in one round.
+type Message []int64
+
+// Clone returns a copy of m.
+func (m Message) Clone() Message { return append(Message(nil), m...) }
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Model is CONGEST or LOCAL. Zero value defaults to CONGEST.
+	Model Model
+	// MaxWords is the CONGEST per-message word budget. Zero defaults to 8.
+	MaxWords int
+	// MaxRounds aborts the run when exceeded. Zero defaults to 1 << 20.
+	MaxRounds int
+	// Seed drives all vertex PRNGs.
+	Seed int64
+	// FaultRate, when positive, drops each message independently with this
+	// probability before delivery. The CONGEST model itself is fault-free;
+	// this knob exists to exercise the paper's §2.3 failure-detection paths
+	// (lost routing tokens must surface as detectable delivery failures,
+	// never as wrong answers). Dropped messages still count in Metrics
+	// (they were sent).
+	FaultRate float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Model == 0 {
+		c.Model = CONGEST
+	}
+	if c.MaxWords == 0 {
+		c.MaxWords = 8
+	}
+	if c.MaxRounds == 0 {
+		c.MaxRounds = 1 << 20
+	}
+	return c
+}
+
+// Incoming is a message received from the neighbor on the given port.
+type Incoming struct {
+	// Port identifies the local port the message arrived on.
+	Port int
+	// From is the sender's vertex ID (KT1 knowledge: after one round every
+	// vertex would know its neighbors' IDs anyway, so the simulator provides
+	// them up front).
+	From int
+	// Msg is the received message.
+	Msg Message
+}
+
+// Handler is the per-vertex algorithm. One Handler instance exists per
+// vertex; it keeps the vertex's local state.
+type Handler interface {
+	// Init runs before the first round. The vertex may send messages (they
+	// are delivered in round 1) but cannot receive anything yet.
+	Init(v *Vertex)
+	// Round runs once per synchronized round with the messages received
+	// this round. Sends are delivered next round. round counts from 1.
+	Round(v *Vertex, round int, recv []Incoming)
+}
+
+// Vertex is the per-vertex view of the network handed to handlers. Handlers
+// may only use the exposed methods; the global graph is not reachable from
+// it, preserving the locality of the model.
+type Vertex struct {
+	sim    *Simulator
+	id     int
+	ports  []int // neighbor IDs by port, ascending
+	outbox []Message
+	halted bool
+	rng    *rand.Rand
+	output any
+}
+
+// ID returns this vertex's identifier (0..n-1).
+func (v *Vertex) ID() int { return v.id }
+
+// N returns the number of vertices in the network (global knowledge of n is
+// the standard assumption in both models).
+func (v *Vertex) N() int { return v.sim.g.N() }
+
+// Degree returns the number of ports.
+func (v *Vertex) Degree() int { return len(v.ports) }
+
+// NeighborID returns the vertex ID of the neighbor on the given port.
+func (v *Vertex) NeighborID(port int) int { return v.ports[port] }
+
+// PortOf returns the port leading to neighbor id, or -1 if id is not a
+// neighbor.
+func (v *Vertex) PortOf(id int) int {
+	lo, hi := 0, len(v.ports)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v.ports[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(v.ports) && v.ports[lo] == id {
+		return lo
+	}
+	return -1
+}
+
+// Rand returns this vertex's private deterministic PRNG.
+func (v *Vertex) Rand() *rand.Rand { return v.rng }
+
+// Send queues msg for delivery to the neighbor on port in the next round.
+// Sending twice to the same port in one round, sending on an invalid port,
+// or exceeding the CONGEST budget panics.
+func (v *Vertex) Send(port int, msg Message) {
+	if port < 0 || port >= len(v.ports) {
+		panic(fmt.Sprintf("congest: vertex %d send on invalid port %d (degree %d)", v.id, port, len(v.ports)))
+	}
+	if v.outbox[port] != nil {
+		panic(fmt.Sprintf("congest: vertex %d sent twice on port %d in one round", v.id, port))
+	}
+	v.sim.checkMessage(v.id, msg)
+	if len(msg) == 0 {
+		// Distinguish "send empty message" from "no send".
+		msg = Message{}
+	}
+	v.outbox[port] = msg
+	v.sim.metrics.Messages++
+	v.sim.metrics.Words += int64(len(msg))
+}
+
+// Broadcast sends msg to every neighbor (ports that already have a queued
+// message this round are skipped).
+func (v *Vertex) Broadcast(msg Message) {
+	for p := range v.ports {
+		if v.outbox[p] == nil {
+			v.Send(p, msg.Clone())
+		}
+	}
+}
+
+// Halt marks the vertex as finished. A halted vertex stops receiving Round
+// calls; its queued sends are still delivered. The simulation ends when all
+// vertices have halted.
+func (v *Vertex) Halt() { v.halted = true }
+
+// Halted reports whether the vertex halted.
+func (v *Vertex) Halted() bool { return v.halted }
+
+// SetOutput records the vertex's final output, retrievable from Result.
+func (v *Vertex) SetOutput(out any) { v.output = out }
+
+// Metrics aggregates communication costs of a run.
+type Metrics struct {
+	// Rounds is the number of synchronized rounds executed.
+	Rounds int
+	// Messages is the total number of messages sent.
+	Messages int64
+	// Words is the total number of message words sent.
+	Words int64
+	// MaxWordsPerMsg is the largest single message observed (interesting in
+	// LOCAL mode where it is unbounded).
+	MaxWordsPerMsg int
+}
+
+// BitsPerWord returns the model-level size of one word for an n-vertex
+// network: ⌈log₂(max(n,2))⌉ bits, i.e. Θ(log n).
+func BitsPerWord(n int) int {
+	bits := 1
+	for v := 1; v < n; v *= 2 {
+		bits++
+	}
+	if bits < 2 {
+		bits = 2
+	}
+	return bits
+}
+
+// TotalBits returns the total bits sent during the run under the word-size
+// accounting for an n-vertex network.
+func (m Metrics) TotalBits(n int) int64 {
+	return m.Words * int64(BitsPerWord(n))
+}
+
+// Add accumulates other into m (for multi-phase algorithms).
+func (m *Metrics) Add(other Metrics) {
+	m.Rounds += other.Rounds
+	m.Messages += other.Messages
+	m.Words += other.Words
+	if other.MaxWordsPerMsg > m.MaxWordsPerMsg {
+		m.MaxWordsPerMsg = other.MaxWordsPerMsg
+	}
+}
+
+// Result is the outcome of a simulation run.
+type Result struct {
+	Metrics Metrics
+	// Outputs holds each vertex's SetOutput value (nil if never set),
+	// indexed by vertex ID.
+	Outputs []any
+}
+
+// ErrMaxRounds is returned when a run exceeds Config.MaxRounds.
+var ErrMaxRounds = errors.New("congest: exceeded maximum rounds without termination")
+
+// Simulator executes distributed algorithms on a fixed graph.
+type Simulator struct {
+	g        *graph.Graph
+	cfg      Config
+	metrics  Metrics
+	wordCap  int64
+	faultRng *rand.Rand
+}
+
+// NewSimulator returns a Simulator for g under cfg.
+func NewSimulator(g *graph.Graph, cfg Config) *Simulator {
+	cfg = cfg.withDefaults()
+	cap := int64(g.N()) * int64(g.N())
+	if cap < 1<<16 {
+		cap = 1 << 16
+	}
+	s := &Simulator{g: g, cfg: cfg, wordCap: cap}
+	if cfg.FaultRate > 0 {
+		s.faultRng = rand.New(rand.NewSource(cfg.Seed*7_777_777 + 13))
+	}
+	return s
+}
+
+// Graph returns the underlying network graph (for harness code; handlers
+// never see it).
+func (s *Simulator) Graph() *graph.Graph { return s.g }
+
+// Config returns the effective configuration.
+func (s *Simulator) Config() Config { return s.cfg }
+
+func (s *Simulator) checkMessage(sender int, msg Message) {
+	if len(msg) > s.metrics.MaxWordsPerMsg {
+		s.metrics.MaxWordsPerMsg = len(msg)
+	}
+	if s.cfg.Model == LOCAL {
+		return
+	}
+	if len(msg) > s.cfg.MaxWords {
+		panic(fmt.Sprintf("congest: vertex %d sent %d words, CONGEST budget is %d",
+			sender, len(msg), s.cfg.MaxWords))
+	}
+	for _, w := range msg {
+		if w > s.wordCap || w < -s.wordCap {
+			panic(fmt.Sprintf("congest: vertex %d sent word %d exceeding magnitude cap %d",
+				sender, w, s.wordCap))
+		}
+	}
+}
+
+// Run executes the algorithm produced by newHandler on every vertex until
+// all halt or MaxRounds is exceeded. It returns the per-vertex outputs and
+// aggregated metrics. Run may be called repeatedly; each call is an
+// independent execution (metrics reset).
+func (s *Simulator) Run(newHandler func(v *Vertex) Handler) (Result, error) {
+	n := s.g.N()
+	s.metrics = Metrics{}
+	if s.cfg.FaultRate > 0 {
+		s.faultRng = rand.New(rand.NewSource(s.cfg.Seed*7_777_777 + 13))
+	}
+	verts := make([]*Vertex, n)
+	handlers := make([]Handler, n)
+	for id := 0; id < n; id++ {
+		nbrs := s.g.Neighbors(id)
+		verts[id] = &Vertex{
+			sim:    s,
+			id:     id,
+			ports:  nbrs,
+			outbox: make([]Message, len(nbrs)),
+			rng:    rand.New(rand.NewSource(s.cfg.Seed*1_000_003 + int64(id))),
+		}
+	}
+	for id := 0; id < n; id++ {
+		handlers[id] = newHandler(verts[id])
+	}
+	for id := 0; id < n; id++ {
+		handlers[id].Init(verts[id])
+	}
+	inboxes := make([][]Incoming, n)
+	allHalted := func() bool {
+		for _, v := range verts {
+			if !v.halted {
+				return false
+			}
+		}
+		return true
+	}
+	for round := 1; ; round++ {
+		if allHalted() {
+			break
+		}
+		if round > s.cfg.MaxRounds {
+			return Result{Metrics: s.metrics}, fmt.Errorf("%w (limit %d)", ErrMaxRounds, s.cfg.MaxRounds)
+		}
+		// Deliver: move outboxes into inboxes.
+		anyMsg := false
+		for id := 0; id < n; id++ {
+			inboxes[id] = inboxes[id][:0]
+		}
+		for id := 0; id < n; id++ {
+			v := verts[id]
+			for port, msg := range v.outbox {
+				if msg == nil {
+					continue
+				}
+				anyMsg = true
+				if s.faultRng != nil && s.faultRng.Float64() < s.cfg.FaultRate {
+					v.outbox[port] = nil // dropped in transit
+					continue
+				}
+				to := v.ports[port]
+				toV := verts[to]
+				inboxes[to] = append(inboxes[to], Incoming{
+					Port: toV.PortOf(id),
+					From: id,
+					Msg:  msg,
+				})
+				v.outbox[port] = nil
+			}
+		}
+		_ = anyMsg
+		s.metrics.Rounds++
+		for id := 0; id < n; id++ {
+			if verts[id].halted {
+				continue
+			}
+			handlers[id].Round(verts[id], round, inboxes[id])
+		}
+	}
+	outs := make([]any, n)
+	for id := 0; id < n; id++ {
+		outs[id] = verts[id].output
+	}
+	return Result{Metrics: s.metrics, Outputs: outs}, nil
+}
+
+// RunFuncs is a convenience for algorithms expressible as closures.
+type RunFuncs struct {
+	InitFn  func(v *Vertex)
+	RoundFn func(v *Vertex, round int, recv []Incoming)
+}
+
+// Init implements Handler.
+func (r RunFuncs) Init(v *Vertex) {
+	if r.InitFn != nil {
+		r.InitFn(v)
+	}
+}
+
+// Round implements Handler.
+func (r RunFuncs) Round(v *Vertex, round int, recv []Incoming) {
+	if r.RoundFn != nil {
+		r.RoundFn(v, round, recv)
+	}
+}
+
+var _ Handler = RunFuncs{}

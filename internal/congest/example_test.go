@@ -1,0 +1,40 @@
+package congest_test
+
+import (
+	"fmt"
+
+	"expandergap/internal/congest"
+	"expandergap/internal/graph"
+)
+
+// A two-round distributed algorithm: every vertex learns the maximum ID in
+// its 1-hop neighborhood.
+func ExampleSimulator_Run() {
+	g := graph.Star(3) // center 0, leaves 1..3
+	sim := congest.NewSimulator(g, congest.Config{Seed: 1})
+	res, err := sim.Run(func(v *congest.Vertex) congest.Handler {
+		best := int64(v.ID())
+		return congest.RunFuncs{
+			InitFn: func(v *congest.Vertex) {
+				v.Broadcast(congest.Message{int64(v.ID())})
+			},
+			RoundFn: func(v *congest.Vertex, round int, recv []congest.Incoming) {
+				for _, in := range recv {
+					if in.Msg[0] > best {
+						best = in.Msg[0]
+					}
+				}
+				v.SetOutput(best)
+				v.Halt()
+			},
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("center sees max:", res.Outputs[0])
+	fmt.Println("rounds:", res.Metrics.Rounds, "messages:", res.Metrics.Messages)
+	// Output:
+	// center sees max: 3
+	// rounds: 1 messages: 6
+}

@@ -1,0 +1,96 @@
+package congest
+
+import (
+	"testing"
+
+	"expandergap/internal/graph"
+)
+
+// pingHandler sends one message per round from even vertices to odd and
+// counts deliveries.
+func TestFaultRateDropsMessages(t *testing.T) {
+	g := graph.CompleteBipartite(10, 10)
+	count := func(rate float64) int64 {
+		sim := NewSimulator(g, Config{Seed: 1, FaultRate: rate})
+		delivered := int64(0)
+		_, err := sim.Run(func(v *Vertex) Handler {
+			return RunFuncs{
+				InitFn: func(v *Vertex) {
+					if v.ID() < 10 {
+						v.Broadcast(Message{1})
+					}
+				},
+				RoundFn: func(v *Vertex, round int, recv []Incoming) {
+					delivered += int64(len(recv))
+					v.Halt()
+				},
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return delivered
+	}
+	full := count(0)
+	if full != 100 {
+		t.Fatalf("fault-free delivery = %d, want 100", full)
+	}
+	lossy := count(0.5)
+	if lossy >= full || lossy == 0 {
+		t.Errorf("lossy delivery = %d, want strictly between 0 and %d", lossy, full)
+	}
+	none := count(1.0)
+	if none != 0 {
+		t.Errorf("rate-1.0 delivery = %d, want 0", none)
+	}
+}
+
+func TestFaultDeterministicGivenSeed(t *testing.T) {
+	g := graph.Complete(8)
+	run := func() int64 {
+		sim := NewSimulator(g, Config{Seed: 9, FaultRate: 0.3})
+		total := int64(0)
+		_, err := sim.Run(func(v *Vertex) Handler {
+			return RunFuncs{
+				InitFn: func(v *Vertex) { v.Broadcast(Message{1}) },
+				RoundFn: func(v *Vertex, round int, recv []Incoming) {
+					total += int64(len(recv))
+					v.Halt()
+				},
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return total
+	}
+	if run() != run() {
+		t.Error("fault injection nondeterministic across identical runs")
+	}
+}
+
+func TestFaultsStillCountAsSent(t *testing.T) {
+	g := graph.Path(2)
+	sim := NewSimulator(g, Config{Seed: 2, FaultRate: 1.0})
+	res, err := sim.Run(func(v *Vertex) Handler {
+		return RunFuncs{
+			InitFn: func(v *Vertex) {
+				if v.ID() == 0 {
+					v.Send(0, Message{1, 2})
+				}
+			},
+			RoundFn: func(v *Vertex, round int, recv []Incoming) {
+				if len(recv) != 0 {
+					t.Error("message delivered despite rate 1.0")
+				}
+				v.Halt()
+			},
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Messages != 1 || res.Metrics.Words != 2 {
+		t.Errorf("metrics = %+v, want the dropped message counted as sent", res.Metrics)
+	}
+}

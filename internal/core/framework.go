@@ -1,0 +1,559 @@
+// Package core implements the paper's framework (Theorem 2.6): partition an
+// H-minor-free network into high-conductance clusters via an expander
+// decomposition, elect a maximum-degree leader v* in every cluster (§2.3),
+// let v* gather the entire cluster topology over the cluster's edges via
+// random-walk routing (Lemmas 2.3 and 2.4), have v* run an arbitrary
+// sequential algorithm on G[V_i] locally, and route each vertex's O(log n)-
+// bit share of the answer back by reversing the routing.
+//
+// All communication — the cluster-ID exchange, the §2.3 diameter self-check,
+// leader election, the Lemma 2.3 degree-condition check, the Barenboim–Elkin
+// orientation, and the topology/answer exchange — runs as real message
+// passing on the CONGEST simulator and is accounted in Solution.Metrics.
+// Only the clustering step itself uses the contract-equivalent decomposer
+// from internal/expander (see DESIGN.md for the Chang–Saranurak
+// substitution).
+//
+// The failure paths of §2.3 are implemented: clusters flagged by the
+// diameter check reset to singletons; clusters failing the degree condition
+// are reported (the property tester of §3.4 turns those into Reject); tokens
+// that miss the routing budget surface as per-vertex delivery failures.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"expandergap/internal/congest"
+	"expandergap/internal/expander"
+	"expandergap/internal/graph"
+	"expandergap/internal/primitives"
+	"expandergap/internal/routing"
+)
+
+// DecomposerKind selects the clustering stage.
+type DecomposerKind int
+
+const (
+	// SequentialDecomposer uses expander.Decompose (contract-reliable).
+	SequentialDecomposer DecomposerKind = iota + 1
+	// DistributedDecomposer uses expander.DistributedDecompose (MPX stage
+	// measured as message passing).
+	DistributedDecomposer
+)
+
+// Options configures a framework run.
+type Options struct {
+	// Eps is the decomposition parameter ε of Theorem 2.6.
+	Eps float64
+	// Density is the edge-density bound t of the H-minor-free class (the
+	// paper sets ε' = ε/t so that |E^r| ≤ ε·min{|V|, |E|}). Zero defaults
+	// to 3 (planar density).
+	Density int
+	// Decomposer picks the clustering stage; zero = SequentialDecomposer.
+	Decomposer DecomposerKind
+	// Cfg is the simulator configuration for all message-passing phases.
+	Cfg congest.Config
+	// ForwardRounds overrides the routing budget (0 = automatic: the
+	// theoretical WalkBudget for the decomposition's φ, capped at
+	// 8·n + 256 which empirically suffices because real clusters have far
+	// better conductance than the worst-case target).
+	ForwardRounds int
+	// SkipDiameterCheck disables the §2.3 self-check (it is cheap but
+	// dominates rounds on large low-φ instances; experiments that measure
+	// routing alone may skip it).
+	SkipDiameterCheck bool
+	// Deterministic routes topology and answers over BFS trees toward the
+	// leaders (the Lemma 2.5 / Theorem 2.2 deterministic track) instead of
+	// lazy random walks. Outputs are identical; only the routing schedule
+	// and round counts differ.
+	Deterministic bool
+	// VertexPayload optionally ships one extra word per vertex to its
+	// cluster leader inside the hello token (vertex weights for the
+	// weighted MaxIS of §3.1, for example). Length must be g.N() when set;
+	// each word must fit the CONGEST cap.
+	VertexPayload []int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Density == 0 {
+		o.Density = 3
+	}
+	if o.Decomposer == 0 {
+		o.Decomposer = SequentialDecomposer
+	}
+	return o
+}
+
+// LocalSolver is the sequential algorithm a cluster leader runs on its
+// gathered topology. cluster is the induced subgraph of the leader's cluster
+// with local vertex IDs; toOld maps local IDs to network IDs. The solver
+// returns one int64 answer per network vertex of the cluster; missing
+// entries default to 0.
+//
+// Answers must fit one CONGEST word (|answer| ≤ max(n², 2¹⁶)).
+type LocalSolver func(cluster *graph.Graph, toOld []int) map[int]int64
+
+// PayloadSolver is a LocalSolver that additionally receives the per-vertex
+// payload words shipped via Options.VertexPayload (keyed by network vertex
+// ID).
+type PayloadSolver func(cluster *graph.Graph, toOld []int, payload map[int]int64) map[int]int64
+
+// RunWithPayload is Run for solvers that need the per-vertex payload.
+func RunWithPayload(g *graph.Graph, opts Options, solve PayloadSolver) (*Solution, error) {
+	opts = opts.withDefaults()
+	if opts.Eps <= 0 || opts.Eps >= 1 {
+		return nil, fmt.Errorf("core: eps must be in (0,1), got %v", opts.Eps)
+	}
+	if opts.VertexPayload != nil && len(opts.VertexPayload) != g.N() {
+		return nil, fmt.Errorf("core: payload covers %d vertices, graph has %d", len(opts.VertexPayload), g.N())
+	}
+	return run(g, opts, nil, nil, solve)
+}
+
+// ClusterInfo describes one cluster of the partition as reconstructed at
+// its leader.
+type ClusterInfo struct {
+	// Leader is the cluster leader v* (maximum cluster-degree, §2.3).
+	Leader int
+	// Members lists the cluster's vertices (ascending).
+	Members []int
+	// DegreeConditionOK reports the Lemma 2.3 check
+	// deg(v*) ≥ φ²·|E_i| (with the constant 1, measured exactly).
+	DegreeConditionOK bool
+}
+
+// Solution is the outcome of a framework run.
+type Solution struct {
+	// Values holds each vertex's answer word.
+	Values []int64
+	// Decomposition is the clustering used (after §2.3 failure resets).
+	Decomposition *expander.Decomposition
+	// Clusters describes each cluster, indexed by cluster ID.
+	Clusters []ClusterInfo
+	// Leader maps each vertex to its cluster leader.
+	Leader []int
+	// DiameterMarked flags vertices whose original cluster failed the §2.3
+	// diameter self-check (they were reset to singletons).
+	DiameterMarked []bool
+	// Undelivered flags vertices whose answer never came back (routing
+	// budget exhausted or message loss) — the §2.3 routing-failure signal.
+	Undelivered []bool
+	// TopologyLoss counts topology (edge) tokens whose round trip did not
+	// complete. A positive count means some leader may have solved on an
+	// incomplete cluster subgraph; per-vertex answers remain well-formed
+	// but quality guarantees may degrade.
+	TopologyLoss int
+	// Metrics aggregates all message-passing phases.
+	Metrics congest.Metrics
+	// Phases records per-phase round counts for the experiment tables.
+	Phases map[string]int
+}
+
+// MaxClusterSize returns the largest cluster size in the solution.
+func (s *Solution) MaxClusterSize() int {
+	max := 0
+	for _, c := range s.Clusters {
+		if len(c.Members) > max {
+			max = len(c.Members)
+		}
+	}
+	return max
+}
+
+// Run executes the full Theorem 2.6 pipeline on g and applies solve in every
+// cluster.
+func Run(g *graph.Graph, opts Options, solve LocalSolver) (*Solution, error) {
+	opts = opts.withDefaults()
+	if opts.Eps <= 0 || opts.Eps >= 1 {
+		return nil, fmt.Errorf("core: eps must be in (0,1), got %v", opts.Eps)
+	}
+	return run(g, opts, nil, solve, nil)
+}
+
+// RunWithDecomposition executes the pipeline with a caller-provided
+// clustering instead of running the decomposer — the entry point for
+// failure-injection tests (feeding the §2.3 checks a bad clustering) and for
+// callers that reuse one decomposition across several solves.
+func RunWithDecomposition(g *graph.Graph, dec *expander.Decomposition, opts Options, solve LocalSolver) (*Solution, error) {
+	opts = opts.withDefaults()
+	if dec == nil {
+		return nil, fmt.Errorf("core: nil decomposition")
+	}
+	if len(dec.Assignment) != g.N() {
+		return nil, fmt.Errorf("core: decomposition covers %d vertices, graph has %d", len(dec.Assignment), g.N())
+	}
+	if opts.Eps <= 0 || opts.Eps >= 1 {
+		opts.Eps = dec.Eps
+		if opts.Eps <= 0 || opts.Eps >= 1 {
+			opts.Eps = 0.5
+		}
+	}
+	return run(g, opts, dec, solve, nil)
+}
+
+func run(g *graph.Graph, opts Options, injected *expander.Decomposition, solve LocalSolver, psolve PayloadSolver) (*Solution, error) {
+	n := g.N()
+	sol := &Solution{
+		Values:         make([]int64, n),
+		Leader:         make([]int, n),
+		DiameterMarked: make([]bool, n),
+		Undelivered:    make([]bool, n),
+		Phases:         make(map[string]int),
+	}
+	if n == 0 {
+		sol.Decomposition = expander.Singletons(g)
+		return sol, nil
+	}
+
+	// Phase 1: clustering with ε' = ε/t (Theorem 2.6).
+	epsPrime := opts.Eps / float64(opts.Density)
+	dec := injected
+	var err error
+	if dec == nil {
+		switch opts.Decomposer {
+		case SequentialDecomposer:
+			dec, err = expander.Decompose(g, epsPrime, expander.Options{Seed: opts.Cfg.Seed})
+		case DistributedDecomposer:
+			var m congest.Metrics
+			dec, m, err = expander.DistributedDecompose(g, opts.Cfg, epsPrime)
+			sol.Metrics.Add(m)
+			sol.Phases["decompose"] = m.Rounds
+		default:
+			err = fmt.Errorf("core: unknown decomposer %d", opts.Decomposer)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	phi := dec.Phi
+	b := diameterBound(phi, n)
+
+	// Phase 2: §2.3 diameter self-check; marked clusters reset to
+	// singletons.
+	if !opts.SkipDiameterCheck {
+		marked, m, derr := primitives.DiameterCheck(g, opts.Cfg, dec.Assignment, b)
+		if derr != nil {
+			return nil, derr
+		}
+		sol.Metrics.Add(m)
+		sol.Phases["diameter-check"] = m.Rounds
+		copy(sol.DiameterMarked, marked)
+		if anyTrue(marked) {
+			assign := append(primitives.ClusterAssignment(nil), dec.Assignment...)
+			nextID := maxInt(assign) + 1
+			for v, mk := range marked {
+				if mk {
+					assign[v] = nextID
+					nextID++
+				}
+			}
+			dec = expander.FromAssignment(g, assign, dec.Eps, dec.Phi)
+		}
+	}
+	sol.Decomposition = dec
+
+	// Phase 3: leader election by (cluster-degree, ID).
+	leaders, m, err := primitives.ElectLeaders(g, opts.Cfg, dec.Assignment, b)
+	if err != nil {
+		return nil, err
+	}
+	sol.Metrics.Add(m)
+	sol.Phases["elect-leaders"] = m.Rounds
+	copy(sol.Leader, leaders.Leader)
+
+	// Phase 4: Barenboim–Elkin orientation so each vertex owns O(t) cluster
+	// edges.
+	phases := 2*intLog2(n) + 4
+	orient, m, err := primitives.LowOutDegreeOrientation(g, opts.Cfg, dec.Assignment, opts.Density, phases)
+	if err != nil {
+		return nil, err
+	}
+	sol.Metrics.Add(m)
+	sol.Phases["orientation"] = m.Rounds
+
+	// Phase 5+6: topology gathering and answer dissemination in one
+	// exchange (Lemma 2.4 forward, reversed-walk backward).
+	budget := opts.ForwardRounds
+	if budget == 0 {
+		budget = forwardBudget(g, dec, phi, n)
+	}
+	sol.Phases["forward-budget"] = budget
+	plan := routing.Plan{
+		Cluster:       dec.Assignment,
+		Leader:        leaders.Leader,
+		ForwardRounds: budget,
+		Strategy:      routing.RandomWalk,
+	}
+	if opts.Deterministic {
+		// Lemma 2.5 track: build BFS trees toward the leaders and route
+		// deterministically along them. The FIFO tree schedule delivers
+		// every token within depth + backlog rounds, so the per-cluster
+		// bound |V_i|·maxTokens + diameter is a safe budget.
+		roots := make(map[int]int, len(dec.Clusters))
+		for id, members := range dec.Clusters {
+			roots[id] = leaders.Leader[members[0]]
+		}
+		bfs, m, berr := primitives.BFSForest(g, opts.Cfg, dec.Assignment, roots, b)
+		if berr != nil {
+			return nil, berr
+		}
+		sol.Metrics.Add(m)
+		sol.Phases["bfs-forest"] = m.Rounds
+		plan.Strategy = routing.TreeParent
+		plan.Parent = bfs.Parent
+		maxTokens := 4*opts.Density + 1
+		treeBudget := 0
+		for _, members := range dec.Clusters {
+			if tb := len(members)*maxTokens + b + 8; tb > treeBudget {
+				treeBudget = tb
+			}
+		}
+		if opts.ForwardRounds == 0 {
+			plan.ForwardRounds = treeBudget
+			sol.Phases["forward-budget"] = treeBudget
+		}
+	}
+	tokens := buildTopologyTokens(g, dec.Assignment, orient, opts.VertexPayload)
+	solveCtx := &solveContext{
+		g:            g,
+		solve:        solve,
+		psolve:       psolve,
+		phi:          phi,
+		leaderDegree: leaders.LeaderDegree,
+		infoByLeader: make(map[int]*ClusterInfo),
+	}
+	ex, m, err := routing.ExchangeBatch(g, opts.Cfg, plan, tokens, solveCtx.respond)
+	if err != nil {
+		return nil, err
+	}
+	sol.Metrics.Add(m)
+	sol.Phases["gather-solve-disseminate"] = m.Rounds
+
+	// Collect per-vertex answers from the hello-token responses.
+	for v := 0; v < n; v++ {
+		got := false
+		for _, resp := range ex.Responses[v] {
+			if resp.Seq == 0 { // hello token carries the answer
+				sol.Values[v] = resp.A
+				got = true
+			}
+		}
+		if !got {
+			sol.Undelivered[v] = true
+		}
+		sol.TopologyLoss += len(tokens[v]) - len(ex.Responses[v])
+		if !got {
+			sol.TopologyLoss-- // the hello token was already counted above
+		}
+	}
+	if sol.TopologyLoss < 0 {
+		sol.TopologyLoss = 0
+	}
+
+	// Assemble cluster infos in cluster-ID order.
+	sol.Clusters = make([]ClusterInfo, len(dec.Clusters))
+	for id, members := range dec.Clusters {
+		leader := leaders.Leader[members[0]]
+		info := solveCtx.infoByLeader[leader]
+		ci := ClusterInfo{Leader: leader, Members: members}
+		if info != nil {
+			ci.DegreeConditionOK = info.DegreeConditionOK
+		}
+		sol.Clusters[id] = ci
+	}
+	return sol, nil
+}
+
+// forwardBudget derives the routing budget: the theoretical Lemma 2.4 value
+// WalkBudget(φ, n) capped by the concrete lazy-walk hitting-time bound —
+// the expected hitting time of a simple random walk is at most 2·m·D, the
+// lazy walk doubles it, and a ×4 slack plus log n retries covers congestion
+// and the high-probability requirement. The cap matters because the
+// worst-case φ target is far below the conductance of real clusters.
+func forwardBudget(g *graph.Graph, dec *expander.Decomposition, phi float64, n int) int {
+	hitting := 0
+	for i := range dec.Clusters {
+		if len(dec.Clusters[i]) <= 1 {
+			continue
+		}
+		sub, _ := dec.ClusterGraph(g, i)
+		b := 8*sub.M()*maxOf(sub.Diameter(), 1) + 64
+		if b > hitting {
+			hitting = b
+		}
+	}
+	if hitting == 0 {
+		return 16
+	}
+	if theory := routing.WalkBudget(phi, n); theory < hitting {
+		return theory
+	}
+	return hitting
+}
+
+func maxOf(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// diameterBound returns the §2.3 bound b = O(φ⁻¹ log n), capped at n (a
+// connected cluster can never exceed diameter n-1).
+func diameterBound(phi float64, n int) int {
+	if phi <= 0 {
+		return n
+	}
+	b := int(math.Ceil(2*math.Log(float64(n)+2)/phi)) + 1
+	if b > n {
+		b = n
+	}
+	if b < 2 {
+		b = 2
+	}
+	return b
+}
+
+// buildTopologyTokens produces, for every vertex, one hello token (Seq 0,
+// A = -1, B = the vertex payload word, defaulting to 0) plus one token per
+// owned cluster edge (A = neighbor ID, B = edge weight, or sign encoded as
+// ±weight for signed graphs).
+func buildTopologyTokens(g *graph.Graph, cluster primitives.ClusterAssignment, orient primitives.Orientation, payload []int64) [][]routing.Token {
+	n := g.N()
+	tokens := make([][]routing.Token, n)
+	for v := 0; v < n; v++ {
+		var p int64
+		if payload != nil {
+			p = payload[v]
+		}
+		tokens[v] = append(tokens[v], routing.Token{A: -1, B: p})
+	}
+	for idx, owner := range orient.Owner {
+		if owner < 0 {
+			continue
+		}
+		e := g.EdgeAt(idx)
+		if cluster[e.U] != cluster[e.V] {
+			continue
+		}
+		payload := g.Weight(idx)
+		if g.Signed() {
+			payload = int64(g.Sign(idx)) * payload
+		}
+		tokens[owner] = append(tokens[owner], routing.Token{
+			A: int64(e.Other(owner)),
+			B: payload,
+		})
+	}
+	return tokens
+}
+
+type solveContext struct {
+	g            *graph.Graph
+	solve        LocalSolver
+	psolve       PayloadSolver
+	phi          float64
+	leaderDegree []int
+	infoByLeader map[int]*ClusterInfo
+}
+
+// respond implements the leader-local computation: reconstruct G[V_i] from
+// the absorbed tokens, check the Lemma 2.3 degree condition, run the solver,
+// and answer every hello token with its origin's value.
+func (sc *solveContext) respond(leader int, inbox []routing.Token) [][2]int64 {
+	memberSet := map[int]bool{leader: true}
+	type edge struct {
+		u, v    int
+		payload int64
+	}
+	var edges []edge
+	helloPayload := make(map[int]int64)
+	for _, tok := range inbox {
+		memberSet[tok.Origin] = true
+		if tok.A >= 0 {
+			edges = append(edges, edge{u: tok.Origin, v: int(tok.A), payload: tok.B})
+			memberSet[int(tok.A)] = true
+		} else {
+			helloPayload[tok.Origin] = tok.B
+		}
+	}
+	members := make([]int, 0, len(memberSet))
+	for v := range memberSet {
+		members = append(members, v)
+	}
+	sort.Ints(members)
+	toNew := make(map[int]int, len(members))
+	for i, v := range members {
+		toNew[v] = i
+	}
+	bld := graph.NewBuilder(len(members))
+	for _, e := range edges {
+		u, v := toNew[e.u], toNew[e.v]
+		if u == v || bld.HasEdge(u, v) {
+			continue
+		}
+		switch {
+		case sc.g.Signed():
+			sign := int8(1)
+			if e.payload < 0 {
+				sign = -1
+			}
+			bld.AddSignedEdge(u, v, sign)
+		case sc.g.Weighted():
+			bld.AddWeightedEdge(u, v, e.payload)
+		default:
+			bld.AddEdge(u, v)
+		}
+	}
+	sub := bld.Graph()
+
+	// Lemma 2.3 condition: deg(v*) ≥ φ²·|E_i|.
+	degOK := float64(sc.leaderDegree[leader]) >= sc.phi*sc.phi*float64(sub.M())
+	sc.infoByLeader[leader] = &ClusterInfo{Leader: leader, Members: members, DegreeConditionOK: degOK}
+
+	var values map[int]int64
+	if sc.psolve != nil {
+		values = sc.psolve(sub, members, helloPayload)
+	} else {
+		values = sc.solve(sub, members)
+	}
+	out := make([][2]int64, len(inbox))
+	for i, tok := range inbox {
+		if tok.A == -1 {
+			out[i] = [2]int64{values[tok.Origin], 1}
+		} else {
+			out[i] = [2]int64{0, 2} // plain ack for edge tokens
+		}
+	}
+	return out
+}
+
+func anyTrue(bs []bool) bool {
+	for _, b := range bs {
+		if b {
+			return true
+		}
+	}
+	return false
+}
+
+func maxInt(a []int) int {
+	m := 0
+	for _, x := range a {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func intLog2(n int) int {
+	l := 0
+	for v := 1; v < n; v *= 2 {
+		l++
+	}
+	return l
+}

@@ -1,0 +1,432 @@
+// Package expander implements (ε, φ) expander decompositions, the engine of
+// the paper's framework (Theorems 2.1, 2.2 and 2.6).
+//
+// An (ε, φ) expander decomposition removes at most an ε fraction of the
+// edges so that every remaining connected component has conductance at least
+// φ. Two constructions are provided:
+//
+//   - Decompose: a sequential recursive sparse-cut decomposition. It plays
+//     the role of the Chang–Saranurak FOCS'20 construction, which this
+//     repository substitutes (see DESIGN.md): the framework only consumes
+//     the (ε, φ) contract, which this decomposer meets with
+//     φ = ε/Θ(log m), matching the existential bound φ = Ω(ε/log n).
+//
+//   - DistributedDecompose: a genuine message-passing construction run on
+//     the CONGEST simulator. It combines Miller–Peng–Xu exponential-shift
+//     clustering (to bound inter-cluster edges) with leader-local expander
+//     refinement of each low-diameter cluster, mirroring how the paper's
+//     framework lets cluster leaders do heavy local computation.
+//
+// Decomposition.Verify checks the contract against the definitions of
+// Section 2 using exact conductance for small clusters and certified
+// spectral bounds otherwise.
+package expander
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"expandergap/internal/conductance"
+	"expandergap/internal/graph"
+	"expandergap/internal/primitives"
+)
+
+// Decomposition is the result of an (ε, φ) expander decomposition.
+type Decomposition struct {
+	// Assignment maps each vertex to its cluster ID (0..len(Clusters)-1).
+	Assignment primitives.ClusterAssignment
+	// Clusters lists the vertex sets, each sorted ascending.
+	Clusters [][]int
+	// Removed lists the indices of inter-cluster (removed) edges.
+	Removed []int
+	// Eps is the requested edge-removal budget.
+	Eps float64
+	// Phi is the conductance target each cluster was built to meet.
+	Phi float64
+}
+
+// CutFraction returns |E^r| / |E| (0 for edgeless graphs).
+func (d *Decomposition) CutFraction(g *graph.Graph) float64 {
+	if g.M() == 0 {
+		return 0
+	}
+	return float64(len(d.Removed)) / float64(g.M())
+}
+
+// ClusterGraph returns the induced subgraph of cluster i and the mapping
+// from its local vertex IDs to graph vertex IDs.
+func (d *Decomposition) ClusterGraph(g *graph.Graph, i int) (*graph.Graph, []int) {
+	return g.InducedSubgraph(d.Clusters[i])
+}
+
+// LargestCluster returns the size of the largest cluster.
+func (d *Decomposition) LargestCluster() int {
+	max := 0
+	for _, c := range d.Clusters {
+		if len(c) > max {
+			max = len(c)
+		}
+	}
+	return max
+}
+
+// Report summarizes a verification pass.
+type Report struct {
+	// CutOK is true when |E^r| ≤ ε·|E|.
+	CutOK bool
+	// CutFraction is the measured |E^r|/|E|.
+	CutFraction float64
+	// MinConductance is the smallest certified cluster conductance lower
+	// bound observed (exact for small clusters, Cheeger bound otherwise).
+	MinConductance float64
+	// ConductanceOK is true when every multi-vertex cluster's certified
+	// conductance meets d.Phi.
+	ConductanceOK bool
+	// Exact is true when every cluster was checked exactly.
+	Exact bool
+	// Connected is true when every cluster induces a connected subgraph.
+	Connected bool
+}
+
+// Verify checks the decomposition contract on g. rng drives the spectral
+// estimation for clusters too large for exact conductance.
+func (d *Decomposition) Verify(g *graph.Graph, rng *rand.Rand) Report {
+	rep := Report{
+		CutFraction:    d.CutFraction(g),
+		MinConductance: math.Inf(1),
+		ConductanceOK:  true,
+		Exact:          true,
+		Connected:      true,
+	}
+	rep.CutOK = float64(len(d.Removed)) <= d.Eps*float64(g.M())+1e-9
+	for i := range d.Clusters {
+		sub, _ := d.ClusterGraph(g, i)
+		if sub.N() <= 1 {
+			continue
+		}
+		if !sub.Connected() {
+			rep.Connected = false
+			rep.ConductanceOK = false
+			rep.MinConductance = 0
+			continue
+		}
+		var phi float64
+		if sub.N() <= conductance.MaxExactN {
+			phi = conductance.ExactConductance(sub)
+		} else {
+			rep.Exact = false
+			phi = conductance.EstimateBounds(sub, 300, rng).Lower
+		}
+		if phi < rep.MinConductance {
+			rep.MinConductance = phi
+		}
+		if phi < d.Phi-1e-12 {
+			rep.ConductanceOK = false
+		}
+	}
+	if math.IsInf(rep.MinConductance, 1) {
+		rep.MinConductance = 0
+	}
+	return rep
+}
+
+// PhiTarget returns the conductance target φ = ε / (4·log₂(m+2)) used by
+// Decompose, the standard existential trade-off φ = Θ(ε / log n).
+func PhiTarget(eps float64, m int) float64 {
+	if m < 2 {
+		m = 2
+	}
+	return eps / (4 * math.Log2(float64(m)+2))
+}
+
+// Options tunes Decompose.
+type Options struct {
+	// Phi overrides the conductance target (0 means PhiTarget(eps, m)).
+	Phi float64
+	// SpectralIters is the power-iteration budget per cut search (0 = 300).
+	SpectralIters int
+	// Seed drives the spectral estimation.
+	Seed int64
+	// Deterministic removes all randomness from the cut search (fixed
+	// power-iteration start vector, fixed nibble seeds): the output is then
+	// identical for every Seed — the Theorem 2.2 deterministic-construction
+	// track at the sequential level.
+	Deterministic bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.SpectralIters == 0 {
+		o.SpectralIters = 300
+	}
+	return o
+}
+
+// Decompose computes an (ε, φ) expander decomposition of g with
+// φ = PhiTarget(eps, |E|) by recursive sparse cuts: any piece whose best
+// found cut has conductance below φ is split and the cut edges are removed;
+// pieces with no such cut become clusters.
+//
+// The removed-edge budget follows from the standard charging argument: every
+// cut taken satisfies |∂S| < φ·vol(smaller side), and each edge's side can
+// halve in volume at most log₂(2m) times, so the total removed is at most
+// φ·2m·log₂(2m) ≤ ε·m for φ = ε/(4·log₂(m+2)).
+func Decompose(g *graph.Graph, eps float64, opts Options) (*Decomposition, error) {
+	if eps <= 0 || eps >= 1 {
+		return nil, fmt.Errorf("expander: eps must be in (0,1), got %v", eps)
+	}
+	opts = opts.withDefaults()
+	phi := opts.Phi
+	if phi == 0 {
+		phi = PhiTarget(eps, g.M())
+	}
+	rng := rand.New(rand.NewSource(opts.Seed + 1))
+
+	d := &Decomposition{
+		Assignment: make(primitives.ClusterAssignment, g.N()),
+		Eps:        eps,
+		Phi:        phi,
+	}
+	removed := make(map[int]bool)
+
+	var recurse func(verts []int)
+	recurse = func(verts []int) {
+		if len(verts) == 0 {
+			return
+		}
+		sub, toOld := g.InducedSubgraph(verts)
+		// Drop edges already removed (recursion operates on the graph minus
+		// removed edges, which InducedSubgraph does not know about).
+		drop := make(map[int]bool)
+		for i := 0; i < sub.M(); i++ {
+			e := sub.EdgeAt(i)
+			oi, ok := g.EdgeIndex(toOld[e.U], toOld[e.V])
+			if ok && removed[oi] {
+				drop[i] = true
+			}
+		}
+		if len(drop) > 0 {
+			sub = sub.RemoveEdges(drop)
+		}
+		// Split disconnected pieces first: components are free clusters.
+		comps := sub.Components()
+		if len(comps) > 1 {
+			for _, comp := range comps {
+				orig := make([]int, len(comp))
+				for i, v := range comp {
+					orig[i] = toOld[v]
+				}
+				recurse(orig)
+			}
+			return
+		}
+		if len(verts) <= 2 || sub.M() == 0 {
+			d.addCluster(verts)
+			return
+		}
+		cut, cutPhi := bestSparseCut(sub, opts.SpectralIters, rng, opts.Deterministic)
+		if cutPhi >= phi || cut == nil {
+			d.addCluster(verts)
+			return
+		}
+		// Remove the cut edges (in g's indexing) and recurse on both sides.
+		var sideA, sideB []int
+		for i, v := range toOld {
+			if cut[i] {
+				sideA = append(sideA, v)
+			} else {
+				sideB = append(sideB, v)
+			}
+		}
+		for _, ei := range sub.CutEdges(cut) {
+			e := sub.EdgeAt(ei)
+			oi, ok := g.EdgeIndex(toOld[e.U], toOld[e.V])
+			if !ok {
+				panic("expander: cut edge missing from parent graph")
+			}
+			removed[oi] = true
+		}
+		recurse(sideA)
+		recurse(sideB)
+	}
+	all := make([]int, g.N())
+	for i := range all {
+		all[i] = i
+	}
+	recurse(all)
+
+	d.Removed = make([]int, 0, len(removed))
+	for ei := range removed {
+		d.Removed = append(d.Removed, ei)
+	}
+	sort.Ints(d.Removed)
+	return d, nil
+}
+
+func (d *Decomposition) addCluster(verts []int) {
+	id := len(d.Clusters)
+	sorted := append([]int(nil), verts...)
+	sort.Ints(sorted)
+	d.Clusters = append(d.Clusters, sorted)
+	for _, v := range sorted {
+		d.Assignment[v] = id
+	}
+}
+
+// bestSparseCut searches for the lowest-conductance cut of sub: exactly for
+// small graphs, otherwise via spectral sweeps from a few random starts plus
+// a BFS-order sweep. Returns the cut (as a local-vertex set) and its
+// conductance.
+func bestSparseCut(sub *graph.Graph, iters int, rng *rand.Rand, deterministic bool) (map[int]bool, float64) {
+	n := sub.N()
+	if n < 2 {
+		return nil, math.Inf(1)
+	}
+	if n <= 14 {
+		return exactSparseCut(sub)
+	}
+	bestPhi := math.Inf(1)
+	var best map[int]bool
+	trials := 3
+	if deterministic {
+		// A fixed-seed PRNG makes the power iteration reproducible without
+		// any caller-provided randomness.
+		rng = rand.New(rand.NewSource(12345))
+		trials = 1
+	}
+	for trial := 0; trial < trials; trial++ {
+		scores := conductance.FiedlerScores(sub, iters, rng)
+		s, phi := conductance.SweepCut(sub, scores)
+		if phi < bestPhi {
+			bestPhi, best = phi, s
+		}
+	}
+	// BFS sweep from an arbitrary vertex as a combinatorial fallback.
+	dist, _ := sub.BFS(0)
+	scores := make([]float64, n)
+	for v := range scores {
+		if dist[v] < 0 {
+			scores[v] = float64(n + 1)
+		} else {
+			scores[v] = float64(dist[v])
+		}
+	}
+	if s, phi := conductance.SweepCut(sub, scores); phi < bestPhi {
+		bestPhi, best = phi, s
+	}
+	// PageRank-Nibble local clustering (the Spielman–Teng style primitive
+	// behind nibble decompositions); deterministic mode uses fixed seeds.
+	epsPush := 1.0 / (20 * float64(sub.M()+1))
+	seeds := []int{rng.Intn(n), rng.Intn(n)}
+	if deterministic {
+		seeds = []int{0, n / 2}
+	}
+	for _, seed := range seeds {
+		s, phi := conductance.Nibble(sub, seed, 0.1, epsPush)
+		if s != nil && len(s) > 0 && len(s) < n && phi < bestPhi {
+			bestPhi, best = phi, s
+		}
+	}
+	return best, bestPhi
+}
+
+// exactSparseCut enumerates all cuts of a small graph.
+func exactSparseCut(sub *graph.Graph) (map[int]bool, float64) {
+	n := sub.N()
+	deg := make([]int, n)
+	for v := 0; v < n; v++ {
+		deg[v] = sub.Degree(v)
+	}
+	totalVol := 2 * sub.M()
+	edges := sub.Edges()
+	bestPhi := math.Inf(1)
+	bestMask := 0
+	for mask := 1; mask < 1<<(n-1); mask++ {
+		volS := 0
+		for v := 0; v < n-1; v++ {
+			if mask&(1<<v) != 0 {
+				volS += deg[v]
+			}
+		}
+		cut := 0
+		for _, e := range edges {
+			inU := e.U < n-1 && mask&(1<<e.U) != 0
+			inV := e.V < n-1 && mask&(1<<e.V) != 0
+			if inU != inV {
+				cut++
+			}
+		}
+		minVol := volS
+		if rest := totalVol - volS; rest < minVol {
+			minVol = rest
+		}
+		if minVol == 0 {
+			continue
+		}
+		phi := float64(cut) / float64(minVol)
+		if phi < bestPhi {
+			bestPhi = phi
+			bestMask = mask
+		}
+	}
+	if bestMask == 0 {
+		return nil, math.Inf(1)
+	}
+	s := make(map[int]bool)
+	for v := 0; v < n-1; v++ {
+		if bestMask&(1<<v) != 0 {
+			s[v] = true
+		}
+	}
+	return s, bestPhi
+}
+
+// Singletons returns the trivial decomposition where every vertex is alone
+// and every edge is removed. It satisfies any φ vacuously but only meets the
+// ε budget for ε = 1; used as a baseline and as the §2.3 failure fallback.
+func Singletons(g *graph.Graph) *Decomposition {
+	d := &Decomposition{
+		Assignment: primitives.Singletons(g.N()),
+		Eps:        1,
+		Phi:        0,
+	}
+	d.Clusters = make([][]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		d.Clusters[v] = []int{v}
+	}
+	d.Removed = make([]int, g.M())
+	for i := range d.Removed {
+		d.Removed[i] = i
+	}
+	return d
+}
+
+// FromAssignment builds a Decomposition from an arbitrary cluster
+// assignment: removed edges are exactly those crossing clusters. Cluster IDs
+// are renumbered densely.
+func FromAssignment(g *graph.Graph, assign primitives.ClusterAssignment, eps, phi float64) *Decomposition {
+	remap := make(map[int]int)
+	d := &Decomposition{
+		Assignment: make(primitives.ClusterAssignment, g.N()),
+		Eps:        eps,
+		Phi:        phi,
+	}
+	for v := 0; v < g.N(); v++ {
+		id, ok := remap[assign[v]]
+		if !ok {
+			id = len(d.Clusters)
+			remap[assign[v]] = id
+			d.Clusters = append(d.Clusters, nil)
+		}
+		d.Assignment[v] = id
+		d.Clusters[id] = append(d.Clusters[id], v)
+	}
+	for i := 0; i < g.M(); i++ {
+		e := g.EdgeAt(i)
+		if d.Assignment[e.U] != d.Assignment[e.V] {
+			d.Removed = append(d.Removed, i)
+		}
+	}
+	return d
+}

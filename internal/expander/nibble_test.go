@@ -1,0 +1,95 @@
+package expander
+
+import (
+	"math/rand"
+	"testing"
+
+	"expandergap/internal/congest"
+	"expandergap/internal/graph"
+)
+
+func TestDistributedNibblePartitions(t *testing.T) {
+	g := graph.Grid(7, 7)
+	dec, metrics, err := DistributedNibble(g, congest.Config{Seed: 1}, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metrics.Rounds == 0 {
+		t.Error("nibble should spend rounds")
+	}
+	seen := make([]bool, g.N())
+	for _, c := range dec.Clusters {
+		for _, v := range c {
+			if seen[v] {
+				t.Fatalf("vertex %d in two clusters", v)
+			}
+			seen[v] = true
+		}
+	}
+	for v, s := range seen {
+		if !s {
+			t.Errorf("vertex %d unassigned", v)
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	rep := dec.Verify(g, rng)
+	if !rep.Connected {
+		t.Error("nibble produced a disconnected cluster")
+	}
+}
+
+func TestDistributedNibbleBarbell(t *testing.T) {
+	// Two K7s joined by one edge: nibble must separate them (or carve one
+	// whole side), never cut through a clique.
+	b := graph.NewBuilder(14)
+	for i := 0; i < 7; i++ {
+		for j := i + 1; j < 7; j++ {
+			b.AddEdge(i, j)
+			b.AddEdge(7+i, 7+j)
+		}
+	}
+	b.AddEdge(6, 7)
+	g := b.Graph()
+	dec, _, err := DistributedNibble(g, congest.Config{Seed: 3}, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Whatever the clustering, at most the bridge should be cut.
+	if len(dec.Removed) > 1 {
+		t.Errorf("nibble cut %d edges on a barbell, want <= 1", len(dec.Removed))
+	}
+}
+
+func TestDistributedNibbleExpanderStaysWholeish(t *testing.T) {
+	g := graph.Complete(10)
+	dec, _, err := DistributedNibble(g, congest.Config{Seed: 5}, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Clusters) != 1 {
+		t.Errorf("clique split into %d clusters by nibble", len(dec.Clusters))
+	}
+}
+
+func TestDistributedNibbleInvalidEps(t *testing.T) {
+	g := graph.Path(4)
+	for _, eps := range []float64{0, 1} {
+		if _, _, err := DistributedNibble(g, congest.Config{}, eps); err == nil {
+			t.Errorf("eps=%v accepted", eps)
+		}
+	}
+}
+
+func TestDistributedNibbleDeterministic(t *testing.T) {
+	g := graph.TriangulatedGrid(5, 5)
+	run := func() int {
+		dec, _, err := DistributedNibble(g, congest.Config{Seed: 9}, 0.4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(dec.Clusters)
+	}
+	if run() != run() {
+		t.Error("nibble nondeterministic for fixed seed")
+	}
+}

@@ -1,0 +1,252 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"expandergap/internal/apps/corrclust"
+	"expandergap/internal/apps/matching"
+	"expandergap/internal/apps/maxis"
+	"expandergap/internal/congest"
+	"expandergap/internal/graph"
+	"expandergap/internal/solvers"
+)
+
+// E5MaxIS measures Theorem 1.2: framework MaxIS quality across families and
+// ε, against the exact optimum (small instances) and the Luby MIS baseline.
+func E5MaxIS(sizes []int, epsList []float64, seed int64) Outcome {
+	t := &Table{
+		ID:      "E5",
+		Title:   "(1-ε)-approximate MaxIS on minor-free graphs (Thm 1.2)",
+		Columns: []string{"family", "n", "eps", "framework", "opt/bound", "ratio", "luby-ratio", "ok"},
+	}
+	rng := rand.New(rand.NewSource(seed))
+	allOK := true
+	frameworkBeatsLuby := 0
+	comparisons := 0
+	for _, fam := range planarFamilies()[:3] {
+		for _, n := range sizes {
+			g := fam.gen(n, rng)
+			for _, eps := range epsList {
+				res, err := maxis.Approximate(g, maxis.Options{Eps: eps, Cfg: congest.Config{Seed: seed}})
+				if err != nil {
+					panic(fmt.Sprintf("E5: %v", err))
+				}
+				ratio, exact := maxis.Ratio(g, res.Set)
+				luby, _, err := maxis.LubyMIS(g, congest.Config{Seed: seed})
+				if err != nil {
+					panic(fmt.Sprintf("E5 luby: %v", err))
+				}
+				lubyRatio, _ := maxis.Ratio(g, luby)
+				ok := !exact || ratio >= 1-eps-1e-9
+				allOK = allOK && ok
+				comparisons++
+				if float64(len(res.Set)) >= float64(len(luby)) {
+					frameworkBeatsLuby++
+				}
+				opt := "greedy-bound"
+				if exact {
+					opt = "exact"
+				}
+				t.AddRow(fam.name, g.N(), eps, len(res.Set), opt, ratio, lubyRatio, ok)
+			}
+		}
+	}
+	return Outcome{
+		Table: t,
+		Checks: []Check{
+			{Name: "ratio ≥ 1-ε wherever the optimum is exact", OK: allOK},
+			{
+				Name: "framework ≥ Luby baseline on most instances",
+				OK:   2*frameworkBeatsLuby >= comparisons,
+				Info: fmt.Sprintf("%d/%d", frameworkBeatsLuby, comparisons),
+			},
+		},
+	}
+}
+
+// E6PlanarMCM measures Theorem 3.2: framework MCM with star elimination on
+// planar graphs, against the exact blossom optimum and the distributed
+// greedy baseline.
+func E6PlanarMCM(sizes []int, eps float64, seed int64) Outcome {
+	t := &Table{
+		ID:      "E6",
+		Title:   "(1-ε)-approximate MCM on planar graphs with star elimination (Thm 3.2)",
+		Columns: []string{"instance", "n", "framework", "opt", "ratio", "greedy-ratio", "aug-ratio", "eliminated", "ok"},
+	}
+	rng := rand.New(rand.NewSource(seed))
+	allOK := true
+	for _, n := range sizes {
+		base := graph.RandomPlanar(n, 0.7, rng)
+		stars := graph.AttachPendantStars(base, []int{0, n / 4, n / 2}, 4)
+		instances := []struct {
+			name string
+			g    *graph.Graph
+		}{
+			{"planar", base},
+			{"planar+stars", stars},
+		}
+		for _, inst := range instances {
+			res, err := matching.ApproximateMCM(inst.g, matching.Options{Eps: eps, Cfg: congest.Config{Seed: seed}})
+			if err != nil {
+				panic(fmt.Sprintf("E6: %v", err))
+			}
+			opt := solvers.MatchingSize(solvers.MaximumMatching(inst.g))
+			ratio := 1.0
+			if opt > 0 {
+				ratio = float64(res.Size()) / float64(opt)
+			}
+			greedy, _, err := matching.DistributedGreedy(inst.g, congest.Config{Seed: seed})
+			if err != nil {
+				panic(fmt.Sprintf("E6 greedy: %v", err))
+			}
+			greedyRatio := 1.0
+			if opt > 0 {
+				greedyRatio = float64(greedy.Size()) / float64(opt)
+			}
+			aug, _, err := matching.GreedyPlusAugment(inst.g, congest.Config{Seed: seed}, 60)
+			if err != nil {
+				panic(fmt.Sprintf("E6 augment: %v", err))
+			}
+			augRatio := 1.0
+			if opt > 0 {
+				augRatio = float64(aug.Size()) / float64(opt)
+			}
+			elim := 0
+			for _, e := range res.Eliminated {
+				if e {
+					elim++
+				}
+			}
+			ok := ratio >= 1-eps-1e-9 && ratio >= augRatio-1e-9
+			allOK = allOK && ok
+			t.AddRow(inst.name, inst.g.N(), res.Size(), opt, ratio, greedyRatio, augRatio, elim, ok)
+		}
+	}
+	return Outcome{
+		Table:  t,
+		Checks: []Check{{Name: "MCM ratio ≥ 1-ε on every instance", OK: allOK}},
+	}
+}
+
+// E7MWM measures Theorem 1.1's statement: framework MWM quality across
+// maximum weights W, against the exact optimum where feasible and twice the
+// greedy weight (a certified upper bound on OPT) otherwise.
+func E7MWM(sizes []int, weights []int64, eps float64, seed int64) Outcome {
+	t := &Table{
+		ID:      "E7",
+		Title:   "(1-ε)-approximate MWM on minor-free graphs (Thm 1.1)",
+		Columns: []string{"n", "W", "framework-w", "bound", "ratio-lb", "greedy-ratio-lb", "ok"},
+	}
+	rng := rand.New(rand.NewSource(seed))
+	allOK := true
+	for _, n := range sizes {
+		for _, w := range weights {
+			base := graph.RandomPlanar(n, 0.7, rng)
+			g := graph.WithRandomWeights(base, w, rng)
+			res, err := matching.ApproximateMWM(g, matching.Options{Eps: eps, Cfg: congest.Config{Seed: seed}})
+			if err != nil {
+				panic(fmt.Sprintf("E7: %v", err))
+			}
+			got := res.Weight(g)
+			// Upper bound on OPT: exact weighted blossom when the instance
+			// fits, else 2× greedy.
+			var bound int64
+			boundKind := "2·greedy"
+			switch {
+			case g.N() <= solvers.WeightedBlossomLimit:
+				bound = solvers.MatchingWeight(g, solvers.ExactMWM(g))
+				boundKind = "exact"
+			default:
+				bound = 2 * solvers.MatchingWeight(g, solvers.GreedyMatching(g))
+			}
+			ratioLB := float64(got) / float64(bound)
+			grd, _, err := matching.DistributedGreedy(g, congest.Config{Seed: seed})
+			if err != nil {
+				panic(fmt.Sprintf("E7 greedy: %v", err))
+			}
+			greedyRatio := float64(grd.Weight(g)) / float64(bound)
+			// Shape: within (1-ε) of the exact optimum; against the
+			// 2·greedy upper bound, clearing (1-ε)/2 certifies
+			// ≥ (1-ε)/2·OPT.
+			threshold := (1 - eps) / 2
+			if boundKind == "exact" {
+				threshold = 1 - eps
+			}
+			ok := ratioLB >= threshold-1e-9
+			allOK = allOK && ok
+			t.AddRow(g.N(), w, got, boundKind, ratioLB, greedyRatio, ok)
+		}
+	}
+	return Outcome{
+		Table:  t,
+		Checks: []Check{{Name: "MWM clears its certified threshold on every instance", OK: allOK}},
+	}
+}
+
+// E8CorrClust measures Theorem 1.3: framework correlation clustering score
+// against the γ(G) ≥ |E|/2 guarantee, the planted optimum, and the pivot
+// baseline.
+func E8CorrClust(sizes []int, eps float64, seed int64) Outcome {
+	t := &Table{
+		ID:      "E8",
+		Title:   "(1-ε)-approximate correlation clustering (Thm 1.3)",
+		Columns: []string{"instance", "n", "score", "gamma-bound", "planted", "pivot", "ok"},
+	}
+	rng := rand.New(rand.NewSource(seed))
+	allOK := true
+	beatsPivot := 0
+	total := 0
+	for _, n := range sizes {
+		side := int(math.Sqrt(float64(n)))
+		base := graph.TriangulatedGrid(side, side)
+		planted, blocks := graph.WithPlantedSigns(base, maxInt(side, 2), 0.05, rng)
+		random := graph.WithRandomSigns(base, 0.5, rng)
+		instances := []struct {
+			name    string
+			g       *graph.Graph
+			planted []int
+		}{
+			{"planted", planted, blocks},
+			{"random", random, nil},
+		}
+		for _, inst := range instances {
+			res, err := corrclust.Approximate(inst.g, corrclust.Options{Eps: eps, Cfg: congest.Config{Seed: seed}})
+			if err != nil {
+				panic(fmt.Sprintf("E8: %v", err))
+			}
+			gamma := corrclust.GammaLowerBound(inst.g)
+			plantedScore := int64(-1)
+			if inst.planted != nil {
+				plantedScore = solvers.CorrelationScore(inst.g, inst.planted)
+			}
+			pivotLabels, _, err := corrclust.DistributedPivot(inst.g, congest.Config{Seed: seed})
+			if err != nil {
+				panic(fmt.Sprintf("E8 pivot: %v", err))
+			}
+			pivotScore := solvers.CorrelationScore(inst.g, pivotLabels)
+			ok := float64(res.Score) >= (1-eps)*float64(gamma)-1e-9
+			if inst.planted != nil {
+				ok = ok && float64(res.Score) >= (1-eps)*float64(plantedScore)
+			}
+			allOK = allOK && ok
+			total++
+			if res.Score >= pivotScore {
+				beatsPivot++
+			}
+			t.AddRow(inst.name, inst.g.N(), res.Score, gamma, plantedScore, pivotScore, ok)
+		}
+	}
+	return Outcome{
+		Table: t,
+		Checks: []Check{
+			{Name: "score ≥ (1-ε)·γ-bound (and ≥ (1-ε)·planted)", OK: allOK},
+			{
+				Name: "framework ≥ pivot baseline on most instances",
+				OK:   2*beatsPivot >= total,
+				Info: fmt.Sprintf("%d/%d", beatsPivot, total),
+			},
+		},
+	}
+}

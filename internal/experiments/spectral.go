@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"expandergap/internal/conductance"
+	"expandergap/internal/expander"
+	"expandergap/internal/graph"
+)
+
+// E13MixingTime measures the §2 preliminaries relation the routing analysis
+// rests on: Θ(1/Φ) ≤ τ_mix ≤ Θ(log|V| / Φ²). Both inequalities are checked
+// with explicit constants on families spanning good and bad expanders.
+func E13MixingTime(seed int64) Outcome {
+	t := &Table{
+		ID:      "E13",
+		Title:   "mixing time vs conductance: Θ(1/Φ) ≤ τ_mix ≤ Θ(log n/Φ²) (§2)",
+		Columns: []string{"graph", "n", "Φ", "τ_mix", "τ·Φ", "τ·Φ²/ln n"},
+	}
+	rng := rand.New(rand.NewSource(seed))
+	instances := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"K8", graph.Complete(8)},
+		{"K16", graph.Complete(16)},
+		{"C12", graph.Cycle(12)},
+		{"C20", graph.Cycle(20)},
+		{"Q3", graph.Hypercube(3)},
+		{"Q4", graph.Hypercube(4)},
+		{"grid4x4", graph.Grid(4, 4)},
+		{"barbell", barbellGraph(6)},
+		{"planar20", graph.RandomMaximalPlanar(20, rng)},
+	}
+	lowerOK := true
+	upperOK := true
+	for _, inst := range instances {
+		phi := conductance.ExactConductance(inst.g)
+		tau, converged := conductance.MixingTime(inst.g, 100000)
+		if !converged {
+			panic(fmt.Sprintf("E13: %s did not mix", inst.name))
+		}
+		n := float64(inst.g.N())
+		lower := float64(tau) * phi                     // must be ≥ some constant c₁
+		upper := float64(tau) * phi * phi / math.Log(n) // must be ≤ some constant c₂
+		// Constants: the standard proofs give c₁ ≥ ~1/4 and c₂ ≤ ~40 for
+		// the τ_mix definition used in the paper (additive π(u)/n error).
+		if lower < 0.25 {
+			lowerOK = false
+		}
+		if upper > 40 {
+			upperOK = false
+		}
+		t.AddRow(inst.name, inst.g.N(), phi, tau, lower, upper)
+	}
+	return Outcome{
+		Table: t,
+		Checks: []Check{
+			{Name: "τ_mix ≥ c/Φ with c ≥ 1/4 on every instance", OK: lowerOK},
+			{Name: "τ_mix ≤ C·log n/Φ² with C ≤ 40 on every instance", OK: upperOK},
+		},
+	}
+}
+
+func barbellGraph(k int) *graph.Graph {
+	b := graph.NewBuilder(2 * k)
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			b.AddEdge(i, j)
+			b.AddEdge(k+i, k+j)
+		}
+	}
+	b.AddEdge(k-1, k)
+	return b.Graph()
+}
+
+// E14HypercubeTightness measures the paper's §2 tightness remark: after
+// removing any constant fraction of a hypercube's edges, some remaining
+// component has conductance O(1/log n) — so decomposing Q_d with a constant
+// φ must shatter it (huge cut fraction), while planar graphs decompose
+// cleanly at the same φ.
+func E14HypercubeTightness(seed int64) Outcome {
+	t := &Table{
+		ID:      "E14",
+		Title:   "hypercubes need φ = O(1/log n): constant-φ decomposition shatters Q_d (§2 remark)",
+		Columns: []string{"graph", "n", "phi", "cut-frac", "clusters", "largest"},
+	}
+	const phiConst = 0.3
+	shatter := []float64{}
+	scaledWhole := true
+	for _, d := range []int{4, 5, 6} {
+		g := graph.Hypercube(d)
+		// Constant φ: must shatter harder as d grows (Φ(Q_d) = 1/d).
+		dec, err := expander.Decompose(g, 0.999, expander.Options{Seed: seed, Phi: phiConst})
+		if err != nil {
+			panic(fmt.Sprintf("E14: %v", err))
+		}
+		frac := dec.CutFraction(g)
+		shatter = append(shatter, frac)
+		t.AddRow(fmt.Sprintf("Q%d", d), g.N(), phiConst, frac, len(dec.Clusters), dec.LargestCluster())
+
+		// Scaled φ = 0.9/d = Θ(1/log n): the whole hypercube qualifies as
+		// one expander cluster — exactly the φ = Ω(ε/log n) trade-off the
+		// paper calls tight.
+		phiScaled := 0.9 / float64(d)
+		decS, err := expander.Decompose(g, 0.999, expander.Options{Seed: seed, Phi: phiScaled})
+		if err != nil {
+			panic(fmt.Sprintf("E14 scaled: %v", err))
+		}
+		if len(decS.Clusters) != 1 || len(decS.Removed) != 0 {
+			scaledWhole = false
+		}
+		t.AddRow(fmt.Sprintf("Q%d", d), g.N(), fmt.Sprintf("0.9/%d", d),
+			decS.CutFraction(g), len(decS.Clusters), decS.LargestCluster())
+	}
+	grows := shatter[len(shatter)-1] > shatter[0]
+	return Outcome{
+		Table: t,
+		Checks: []Check{
+			{Name: "constant φ: hypercube shattering grows with dimension", OK: grows,
+				Info: fmt.Sprintf("%v", shatter)},
+			{Name: "φ = Θ(1/log n): every hypercube survives as one cluster", OK: scaledWhole},
+		},
+	}
+}

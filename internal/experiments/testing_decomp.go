@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"expandergap/internal/apps/ldd"
+	"expandergap/internal/apps/proptest"
+	"expandergap/internal/congest"
+	"expandergap/internal/graph"
+	"expandergap/internal/minor"
+	"expandergap/internal/separator"
+)
+
+// E9PropertyTesting measures Theorem 1.4: one-sided-error distributed
+// planarity testing — planar inputs always fully accept, certifiably far
+// inputs produce at least one rejection.
+func E9PropertyTesting(sizes []int, eps float64, seed int64) Outcome {
+	t := &Table{
+		ID:      "E9",
+		Title:   "distributed property testing of planarity (Thm 1.4)",
+		Columns: []string{"instance", "n", "planar", "all-accept", "rejecting", "ok"},
+	}
+	rng := rand.New(rand.NewSource(seed))
+	oneSided := true
+	farCaught := true
+	for _, n := range sizes {
+		planarG := graph.RandomMaximalPlanar(n, rng)
+		k := maxInt(n/20, 2)
+		farG := proptest.PlantCliques(graph.Grid(4, maxInt(n/8, 4)), 5, k)
+		instances := []struct {
+			name   string
+			g      *graph.Graph
+			planar bool
+		}{
+			{"maxplanar", planarG, true},
+			{"grid+K5s", farG, false},
+		}
+		for _, inst := range instances {
+			v, err := proptest.Test(inst.g, minor.Planarity(), proptest.Options{Eps: eps, Cfg: congest.Config{Seed: seed}})
+			if err != nil {
+				panic(fmt.Sprintf("E9: %v", err))
+			}
+			rejecting := 0
+			for _, a := range v.Accepts {
+				if !a {
+					rejecting++
+				}
+			}
+			var ok bool
+			if inst.planar {
+				ok = v.AllAccept
+				oneSided = oneSided && ok
+			} else {
+				ok = !v.AllAccept
+				farCaught = farCaught && ok
+			}
+			t.AddRow(inst.name, inst.g.N(), inst.planar, v.AllAccept, rejecting, ok)
+		}
+	}
+	return Outcome{
+		Table: t,
+		Checks: []Check{
+			{Name: "planar inputs: every vertex accepts (one-sided error)", OK: oneSided},
+			{Name: "far inputs: at least one vertex rejects", OK: farCaught},
+		},
+	}
+}
+
+// E10LDD measures Theorem 1.5: the framework low-diameter decomposition has
+// D·ε bounded by a constant while the MPX baseline's D·ε grows with log n.
+func E10LDD(sizes []int, epsList []float64, seed int64) Outcome {
+	t := &Table{
+		ID:      "E10",
+		Title:   "low-diameter decomposition with D = O(1/ε) (Thm 1.5)",
+		Columns: []string{"n", "eps", "weights", "fw-D", "fw-D·eps", "fw-cut", "fw-wcut", "mpx-D", "mpx-D·eps", "ok"},
+	}
+	rng := rand.New(rand.NewSource(seed))
+	allOK := true
+	weightedOK := true
+	for _, n := range sizes {
+		side := int(math.Sqrt(float64(n)))
+		base := graph.Grid(side, side)
+		for _, eps := range epsList {
+			for _, weighted := range []bool{false, true} {
+				g := base
+				label := "unit"
+				if weighted {
+					g = graph.WithRandomWeights(base, 50, rng)
+					label = "[1,50]"
+				}
+				fw, err := ldd.Decompose(g, ldd.Options{Eps: eps, Cfg: congest.Config{Seed: seed}})
+				if err != nil {
+					panic(fmt.Sprintf("E10: %v", err))
+				}
+				mpx, _, err := ldd.Baseline(g, eps, congest.Config{Seed: seed})
+				if err != nil {
+					panic(fmt.Sprintf("E10 baseline: %v", err))
+				}
+				fwProduct := float64(fw.MaxDiameter) * eps
+				mpxProduct := float64(mpx.MaxDiameter) * eps
+				// Shape check: the framework's D·ε stays below a fixed
+				// constant (16 covers the KPR constant at these sizes), and
+				// the weighted cut tracks the unweighted one (random-offset
+				// chopping is weight-oblivious).
+				ok := fwProduct <= 16
+				if weighted && fw.CutFraction > 0 {
+					ratio := fw.CutWeightFraction / fw.CutFraction
+					weightedOK = weightedOK && ratio < 3 && ratio > 1.0/3
+				}
+				allOK = allOK && ok
+				t.AddRow(g.N(), eps, label, fw.MaxDiameter, fwProduct, fw.CutFraction,
+					fw.CutWeightFraction, mpx.MaxDiameter, mpxProduct, ok)
+			}
+		}
+	}
+	return Outcome{
+		Table: t,
+		Checks: []Check{
+			{Name: "framework D·ε bounded by a constant", OK: allOK},
+			{Name: "weighted cut fraction tracks unweighted (weight-oblivious chop)", OK: weightedOK},
+		},
+	}
+}
+
+// E11Separators measures Theorem 1.6: balanced edge separators of size
+// O(√(Δn)) on minor-free families, with cliques as the growing-ratio
+// control.
+func E11Separators(sizes []int, seed int64) Outcome {
+	t := &Table{
+		ID:      "E11",
+		Title:   "edge separators of size O(√(Δn)) on minor-free graphs (Thm 1.6)",
+		Columns: []string{"family", "n", "cut", "sqrt(Δn)", "quality", "balanced"},
+	}
+	rng := rand.New(rand.NewSource(seed))
+	const bound = 3.0
+	allOK := true
+	for _, fam := range planarFamilies() {
+		for _, n := range sizes {
+			g := fam.gen(n, rng)
+			sep := separator.Best(g, rng)
+			q := sep.Quality(g)
+			allOK = allOK && q <= bound && sep.Balanced(g.N())
+			t.AddRow(fam.name, g.N(), sep.CutSize,
+				math.Sqrt(float64(g.MaxDegree())*float64(g.N())), q, sep.Balanced(g.N()))
+		}
+	}
+	// Clique control: quality must grow.
+	qSmall := separator.Best(graph.Complete(12), rng).Quality(graph.Complete(12))
+	qLarge := separator.Best(graph.Complete(36), rng).Quality(graph.Complete(36))
+	t.AddRow("K12(control)", 12, "-", "-", qSmall, true)
+	t.AddRow("K36(control)", 36, "-", "-", qLarge, true)
+	return Outcome{
+		Table: t,
+		Checks: []Check{
+			{Name: fmt.Sprintf("minor-free quality ≤ %v and balanced", bound), OK: allOK},
+			{Name: "clique control quality grows with n", OK: qLarge > qSmall,
+				Info: fmt.Sprintf("%.3g -> %.3g", qSmall, qLarge)},
+		},
+	}
+}

@@ -1,0 +1,107 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDegeneracyKnown(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []struct {
+		name string
+		g    *Graph
+		want int
+	}{
+		{"tree", RandomTree(30, rng), 1},
+		{"cycle", Cycle(10), 2},
+		{"K5", Complete(5), 4},
+		{"grid", Grid(5, 5), 2},
+		{"maximal-planar", RandomMaximalPlanar(30, rng), 3}, // planar: 3..5; triangulations hit >=3
+		{"star", Star(7), 1},
+		{"empty", NewBuilder(4).Graph(), 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, order := tc.g.Degeneracy()
+			if tc.name == "maximal-planar" {
+				if got < 3 || got > 5 {
+					t.Errorf("degeneracy = %d, want in [3,5] (planar)", got)
+				}
+			} else if got != tc.want {
+				t.Errorf("degeneracy = %d, want %d", got, tc.want)
+			}
+			if len(order) != tc.g.N() {
+				t.Errorf("peeling order covers %d of %d", len(order), tc.g.N())
+			}
+		})
+	}
+}
+
+// Property: degeneracy is at least m/n (average-degree bound) and at most
+// the maximum degree; core numbers are consistent with it.
+func TestQuickDegeneracyBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(20)
+		g := ErdosRenyi(n, 0.3, rng)
+		d, _ := g.Degeneracy()
+		if d > g.MaxDegree() {
+			return false
+		}
+		if g.N() > 0 && float64(d) < float64(g.M())/float64(g.N()) {
+			return false
+		}
+		cores := g.CoreNumbers()
+		maxCore := 0
+		for _, c := range cores {
+			if c > maxCore {
+				maxCore = c
+			}
+		}
+		return maxCore == d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoreNumbersTriangleWithTail(t *testing.T) {
+	// A triangle with a pendant 2-path: triangle vertices have core 2, the
+	// tail (degree sequence ending in a leaf) has core 1.
+	b := NewBuilder(5)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 4)
+	g := b.Graph()
+	cores := g.CoreNumbers()
+	for _, v := range []int{0, 1, 2} {
+		if cores[v] != 2 {
+			t.Errorf("triangle vertex %d core = %d, want 2", v, cores[v])
+		}
+	}
+	for _, v := range []int{3, 4} {
+		if cores[v] != 1 {
+			t.Errorf("tail vertex %d core = %d, want 1", v, cores[v])
+		}
+	}
+}
+
+func TestMinorFreeFamiliesLowDegeneracy(t *testing.T) {
+	// The structural fact the framework relies on: H-minor-free families
+	// have O(1) degeneracy regardless of size.
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{50, 150, 400} {
+		if d, _ := RandomMaximalPlanar(n, rng).Degeneracy(); d > 5 {
+			t.Errorf("planar degeneracy %d > 5 at n=%d", d, n)
+		}
+		if d, _ := RandomOuterplanar(n, rng).Degeneracy(); d > 2 {
+			t.Errorf("outerplanar degeneracy %d > 2 at n=%d", d, n)
+		}
+		if d, _ := KTree(n, 3, rng).Degeneracy(); d != 3 {
+			t.Errorf("3-tree degeneracy %d != 3 at n=%d", d, n)
+		}
+	}
+}

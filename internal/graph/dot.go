@@ -1,0 +1,62 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteDOT writes g in Graphviz DOT format. When clusterOf is non-nil it
+// must map each vertex to a cluster ID; vertices are then grouped into DOT
+// subgraph clusters and inter-cluster edges drawn dashed — handy for
+// eyeballing expander decompositions and LDDs.
+func WriteDOT(w io.Writer, g *Graph, clusterOf []int) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "graph G {")
+	fmt.Fprintln(bw, "  node [shape=circle];")
+	if clusterOf != nil {
+		if len(clusterOf) != g.N() {
+			return fmt.Errorf("graph: clusterOf covers %d vertices, graph has %d", len(clusterOf), g.N())
+		}
+		groups := make(map[int][]int)
+		for v, c := range clusterOf {
+			groups[c] = append(groups[c], v)
+		}
+		// Deterministic order: by smallest member.
+		order := make([]int, 0, len(groups))
+		for c := range groups {
+			order = append(order, c)
+		}
+		for i := 1; i < len(order); i++ {
+			for j := i; j > 0 && groups[order[j-1]][0] > groups[order[j]][0]; j-- {
+				order[j-1], order[j] = order[j], order[j-1]
+			}
+		}
+		for _, c := range order {
+			fmt.Fprintf(bw, "  subgraph cluster_%d {\n", c)
+			for _, v := range groups[c] {
+				fmt.Fprintf(bw, "    %d;\n", v)
+			}
+			fmt.Fprintln(bw, "  }")
+		}
+	}
+	for idx, e := range g.Edges() {
+		attrs := ""
+		if g.Weighted() {
+			attrs = fmt.Sprintf(" [label=%d]", g.Weight(idx))
+		}
+		if g.Signed() && g.Sign(idx) == -1 {
+			attrs = " [color=red]"
+		}
+		if clusterOf != nil && clusterOf[e.U] != clusterOf[e.V] {
+			if attrs == "" {
+				attrs = " [style=dashed]"
+			} else {
+				attrs = attrs[:len(attrs)-1] + ",style=dashed]"
+			}
+		}
+		fmt.Fprintf(bw, "  %d -- %d%s;\n", e.U, e.V, attrs)
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

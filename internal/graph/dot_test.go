@@ -1,0 +1,57 @@
+package graph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestWriteDOTPlain(t *testing.T) {
+	g := Path(3)
+	var sb strings.Builder
+	if err := WriteDOT(&sb, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"graph G {", "0 -- 1;", "1 -- 2;", "}"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDOTClustersAndAttrs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := WithRandomWeights(Cycle(4), 9, rng)
+	var sb strings.Builder
+	if err := WriteDOT(&sb, g, []int{0, 0, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "subgraph cluster_0") || !strings.Contains(out, "subgraph cluster_1") {
+		t.Errorf("DOT missing clusters:\n%s", out)
+	}
+	if !strings.Contains(out, "style=dashed") {
+		t.Errorf("inter-cluster edge not dashed:\n%s", out)
+	}
+	if !strings.Contains(out, "label=") {
+		t.Errorf("weights not labeled:\n%s", out)
+	}
+}
+
+func TestWriteDOTSignedAndErrors(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddSignedEdge(0, 1, -1)
+	b.AddSignedEdge(1, 2, 1)
+	g := b.Graph()
+	var sb strings.Builder
+	if err := WriteDOT(&sb, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "color=red") {
+		t.Error("negative edge not colored")
+	}
+	if err := WriteDOT(&sb, g, []int{0}); err == nil {
+		t.Error("short cluster slice accepted")
+	}
+}

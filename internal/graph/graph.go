@@ -1,0 +1,482 @@
+// Package graph provides the static undirected graph representation shared by
+// every subsystem in this repository: the CONGEST simulator, the expander
+// decomposition, the sequential solvers, and the experiment harness.
+//
+// Graphs are immutable once built. Construction goes through Builder, which
+// deduplicates parallel edges, rejects self-loops, and produces compact
+// adjacency structures with stable edge indices. Edge weights (for maximum
+// weight matching) and edge signs (for correlation clustering) are optional
+// per-edge annotations carried by the same structure.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is an undirected edge with canonical orientation U < V.
+type Edge struct {
+	U, V int
+}
+
+// Canon returns e with endpoints swapped if necessary so that U < V.
+func (e Edge) Canon() Edge {
+	if e.U > e.V {
+		return Edge{U: e.V, V: e.U}
+	}
+	return e
+}
+
+// Other returns the endpoint of e that is not v. It panics if v is not an
+// endpoint of e.
+func (e Edge) Other(v int) int {
+	switch v {
+	case e.U:
+		return e.V
+	case e.V:
+		return e.U
+	default:
+		panic(fmt.Sprintf("graph: vertex %d is not an endpoint of edge %v", v, e))
+	}
+}
+
+// halfEdge is one direction of an undirected edge as stored in an adjacency
+// list. idx is the index of the undirected edge in Graph.edges, shared by the
+// two opposite half-edges.
+type halfEdge struct {
+	to  int
+	idx int
+}
+
+// Graph is an immutable simple undirected graph on vertices 0..n-1.
+//
+// The zero value is the empty graph with no vertices. Use a Builder to create
+// non-trivial graphs.
+type Graph struct {
+	n      int
+	adj    [][]halfEdge
+	edges  []Edge
+	weight []int64 // nil when the graph is unweighted
+	sign   []int8  // nil when the graph is unsigned; otherwise +1 or -1 per edge
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return len(g.edges) }
+
+// Degree returns the degree of vertex v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// MaxDegree returns the maximum vertex degree (0 for an empty graph).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := 0; v < g.n; v++ {
+		if d := len(g.adj[v]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// MinDegree returns the minimum vertex degree, or 0 for an empty graph.
+func (g *Graph) MinDegree() int {
+	if g.n == 0 {
+		return 0
+	}
+	min := len(g.adj[0])
+	for v := 1; v < g.n; v++ {
+		if d := len(g.adj[v]); d < min {
+			min = d
+		}
+	}
+	return min
+}
+
+// Neighbors returns the neighbors of v in ascending order. The returned slice
+// is owned by the caller.
+func (g *Graph) Neighbors(v int) []int {
+	out := make([]int, len(g.adj[v]))
+	for i, he := range g.adj[v] {
+		out[i] = he.to
+	}
+	return out
+}
+
+// ForEachNeighbor calls fn for every neighbor u of v with the undirected edge
+// index, in ascending neighbor order.
+func (g *Graph) ForEachNeighbor(v int, fn func(u, edgeIdx int)) {
+	for _, he := range g.adj[v] {
+		fn(he.to, he.idx)
+	}
+}
+
+// Edges returns a copy of the edge list. Edge i has index i for Weight/Sign.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, len(g.edges))
+	copy(out, g.edges)
+	return out
+}
+
+// EdgeAt returns the edge with index idx.
+func (g *Graph) EdgeAt(idx int) Edge { return g.edges[idx] }
+
+// HasEdge reports whether {u, v} is an edge of g.
+func (g *Graph) HasEdge(u, v int) bool {
+	_, ok := g.EdgeIndex(u, v)
+	return ok
+}
+
+// EdgeIndex returns the index of edge {u, v} and whether it exists.
+func (g *Graph) EdgeIndex(u, v int) (int, bool) {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n || u == v {
+		return 0, false
+	}
+	// Binary search the (sorted) adjacency list of the lower-degree endpoint.
+	a := g.adj[u]
+	if len(g.adj[v]) < len(a) {
+		a = g.adj[v]
+		u, v = v, u
+	}
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if a[mid].to < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(a) && a[lo].to == v {
+		return a[lo].idx, true
+	}
+	return 0, false
+}
+
+// Weighted reports whether the graph carries edge weights.
+func (g *Graph) Weighted() bool { return g.weight != nil }
+
+// Weight returns the weight of edge idx. Unweighted graphs report weight 1
+// for every edge so that cardinality problems are the W=1 special case of
+// their weighted counterparts, exactly as in the paper.
+func (g *Graph) Weight(idx int) int64 {
+	if g.weight == nil {
+		return 1
+	}
+	return g.weight[idx]
+}
+
+// MaxWeight returns the maximum edge weight W (1 for unweighted graphs with
+// at least one edge, 0 for edgeless graphs).
+func (g *Graph) MaxWeight() int64 {
+	if len(g.edges) == 0 {
+		return 0
+	}
+	if g.weight == nil {
+		return 1
+	}
+	max := g.weight[0]
+	for _, w := range g.weight[1:] {
+		if w > max {
+			max = w
+		}
+	}
+	return max
+}
+
+// Signed reports whether the graph carries correlation-clustering edge signs.
+func (g *Graph) Signed() bool { return g.sign != nil }
+
+// Sign returns the sign of edge idx: +1 or -1 for signed graphs, +1 otherwise.
+func (g *Graph) Sign(idx int) int8 {
+	if g.sign == nil {
+		return 1
+	}
+	return g.sign[idx]
+}
+
+// TotalWeight returns the sum of all edge weights.
+func (g *Graph) TotalWeight() int64 {
+	var sum int64
+	for i := range g.edges {
+		sum += g.Weight(i)
+	}
+	return sum
+}
+
+// Volume returns the sum of degrees of the vertices in s.
+func (g *Graph) Volume(s []int) int {
+	vol := 0
+	for _, v := range s {
+		vol += len(g.adj[v])
+	}
+	return vol
+}
+
+// EdgeDensity returns |E|/|V| (0 for an empty graph).
+func (g *Graph) EdgeDensity() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	return float64(len(g.edges)) / float64(g.n)
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	cp := &Graph{n: g.n}
+	cp.adj = make([][]halfEdge, g.n)
+	for v := range g.adj {
+		cp.adj[v] = append([]halfEdge(nil), g.adj[v]...)
+	}
+	cp.edges = append([]Edge(nil), g.edges...)
+	if g.weight != nil {
+		cp.weight = append([]int64(nil), g.weight...)
+	}
+	if g.sign != nil {
+		cp.sign = append([]int8(nil), g.sign...)
+	}
+	return cp
+}
+
+// String implements fmt.Stringer with a short structural summary.
+func (g *Graph) String() string {
+	return fmt.Sprintf("Graph(n=%d, m=%d, Δ=%d)", g.n, len(g.edges), g.MaxDegree())
+}
+
+// Builder incrementally assembles a Graph. The zero value is unusable; create
+// builders with NewBuilder.
+type Builder struct {
+	n       int
+	seen    map[Edge]int // canonical edge -> index into pending slices
+	pending []Edge
+	weight  []int64
+	sign    []int8
+	anyW    bool
+	anyS    bool
+}
+
+// NewBuilder returns a Builder for a graph on n vertices. It panics if n < 0.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative vertex count %d", n))
+	}
+	return &Builder{n: n, seen: make(map[Edge]int)}
+}
+
+// N returns the number of vertices the builder was created with.
+func (b *Builder) N() int { return b.n }
+
+// M returns the number of distinct edges added so far.
+func (b *Builder) M() int { return len(b.pending) }
+
+// AddEdge adds the undirected edge {u, v} with weight 1 and sign +1.
+// Duplicate edges are ignored. It panics on self-loops and out-of-range
+// endpoints.
+func (b *Builder) AddEdge(u, v int) { b.add(u, v, 1, 1, false, false) }
+
+// AddWeightedEdge adds {u, v} with the given positive weight. If the edge was
+// already present its weight is overwritten.
+func (b *Builder) AddWeightedEdge(u, v int, w int64) {
+	if w <= 0 {
+		panic(fmt.Sprintf("graph: non-positive edge weight %d on {%d,%d}", w, u, v))
+	}
+	b.add(u, v, w, 1, true, false)
+}
+
+// AddSignedEdge adds {u, v} with the given sign (+1 or -1) for correlation
+// clustering. If the edge was already present its sign is overwritten.
+func (b *Builder) AddSignedEdge(u, v int, sign int8) {
+	if sign != 1 && sign != -1 {
+		panic(fmt.Sprintf("graph: invalid edge sign %d on {%d,%d}", sign, u, v))
+	}
+	b.add(u, v, 1, sign, false, true)
+}
+
+func (b *Builder) add(u, v int, w int64, s int8, isWeighted, isSigned bool) {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		panic(fmt.Sprintf("graph: edge {%d,%d} out of range for n=%d", u, v, b.n))
+	}
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop on vertex %d", u))
+	}
+	e := Edge{U: u, V: v}.Canon()
+	if i, ok := b.seen[e]; ok {
+		b.weight[i] = w
+		b.sign[i] = s
+	} else {
+		b.seen[e] = len(b.pending)
+		b.pending = append(b.pending, e)
+		b.weight = append(b.weight, w)
+		b.sign = append(b.sign, s)
+	}
+	b.anyW = b.anyW || isWeighted
+	b.anyS = b.anyS || isSigned
+}
+
+// HasEdge reports whether {u, v} has been added.
+func (b *Builder) HasEdge(u, v int) bool {
+	_, ok := b.seen[Edge{U: u, V: v}.Canon()]
+	return ok
+}
+
+// Graph finalizes the builder into an immutable Graph. The builder remains
+// usable (further edges may be added and Graph called again).
+func (b *Builder) Graph() *Graph {
+	g := &Graph{n: b.n}
+	// Sort edges canonically so edge indices are deterministic regardless of
+	// insertion order.
+	order := make([]int, len(b.pending))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, c := b.pending[order[i]], b.pending[order[j]]
+		if a.U != c.U {
+			return a.U < c.U
+		}
+		return a.V < c.V
+	})
+	g.edges = make([]Edge, len(order))
+	if b.anyW {
+		g.weight = make([]int64, len(order))
+	}
+	if b.anyS {
+		g.sign = make([]int8, len(order))
+	}
+	for newIdx, oldIdx := range order {
+		g.edges[newIdx] = b.pending[oldIdx]
+		if g.weight != nil {
+			g.weight[newIdx] = b.weight[oldIdx]
+		}
+		if g.sign != nil {
+			g.sign[newIdx] = b.sign[oldIdx]
+		}
+	}
+	g.adj = make([][]halfEdge, b.n)
+	deg := make([]int, b.n)
+	for _, e := range g.edges {
+		deg[e.U]++
+		deg[e.V]++
+	}
+	for v := range g.adj {
+		g.adj[v] = make([]halfEdge, 0, deg[v])
+	}
+	for idx, e := range g.edges {
+		g.adj[e.U] = append(g.adj[e.U], halfEdge{to: e.V, idx: idx})
+		g.adj[e.V] = append(g.adj[e.V], halfEdge{to: e.U, idx: idx})
+	}
+	// Edges were appended in ascending canonical order, so each adjacency
+	// list is already sorted by neighbor ID; assert in debug-ish fashion.
+	for v := range g.adj {
+		a := g.adj[v]
+		for i := 1; i < len(a); i++ {
+			if a[i-1].to >= a[i].to {
+				sort.Slice(a, func(x, y int) bool { return a[x].to < a[y].to })
+				break
+			}
+		}
+	}
+	return g
+}
+
+// FromEdges builds an unweighted graph on n vertices from an edge list.
+func FromEdges(n int, edges []Edge) *Graph {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e.U, e.V)
+	}
+	return b.Graph()
+}
+
+// InducedSubgraph returns the subgraph of g induced by the vertex set verts,
+// along with the mapping from new vertex IDs (0..len(verts)-1) back to the
+// original IDs. Weights and signs are preserved. Duplicate vertices in verts
+// panic.
+func (g *Graph) InducedSubgraph(verts []int) (*Graph, []int) {
+	toNew := make(map[int]int, len(verts))
+	toOld := make([]int, len(verts))
+	for i, v := range verts {
+		if _, dup := toNew[v]; dup {
+			panic(fmt.Sprintf("graph: duplicate vertex %d in induced subgraph", v))
+		}
+		if v < 0 || v >= g.n {
+			panic(fmt.Sprintf("graph: vertex %d out of range for n=%d", v, g.n))
+		}
+		toNew[v] = i
+		toOld[i] = v
+	}
+	b := NewBuilder(len(verts))
+	for i, v := range toOld {
+		for _, he := range g.adj[v] {
+			j, ok := toNew[he.to]
+			if !ok || j <= i {
+				continue
+			}
+			switch {
+			case g.weight != nil:
+				b.AddWeightedEdge(i, j, g.weight[he.idx])
+			case g.sign != nil:
+				b.AddSignedEdge(i, j, g.sign[he.idx])
+			default:
+				b.AddEdge(i, j)
+			}
+		}
+	}
+	return b.Graph(), toOld
+}
+
+// SubgraphFromEdgeSet returns the graph on the same vertex set containing
+// exactly the edges whose indices are in keep.
+func (g *Graph) SubgraphFromEdgeSet(keep map[int]bool) *Graph {
+	b := NewBuilder(g.n)
+	for idx, e := range g.edges {
+		if !keep[idx] {
+			continue
+		}
+		switch {
+		case g.weight != nil:
+			b.AddWeightedEdge(e.U, e.V, g.weight[idx])
+		case g.sign != nil:
+			b.AddSignedEdge(e.U, e.V, g.sign[idx])
+		default:
+			b.AddEdge(e.U, e.V)
+		}
+	}
+	return b.Graph()
+}
+
+// RemoveEdges returns the graph on the same vertex set with the edges whose
+// indices appear in drop removed.
+func (g *Graph) RemoveEdges(drop map[int]bool) *Graph {
+	keep := make(map[int]bool, len(g.edges))
+	for idx := range g.edges {
+		if !drop[idx] {
+			keep[idx] = true
+		}
+	}
+	return g.SubgraphFromEdgeSet(keep)
+}
+
+// RemoveVertices returns the subgraph induced by all vertices not in drop,
+// plus the old-ID mapping as in InducedSubgraph.
+func (g *Graph) RemoveVertices(drop map[int]bool) (*Graph, []int) {
+	keep := make([]int, 0, g.n)
+	for v := 0; v < g.n; v++ {
+		if !drop[v] {
+			keep = append(keep, v)
+		}
+	}
+	return g.InducedSubgraph(keep)
+}
+
+// CutEdges returns the indices of edges with exactly one endpoint in s.
+func (g *Graph) CutEdges(s map[int]bool) []int {
+	var out []int
+	for idx, e := range g.edges {
+		if s[e.U] != s[e.V] {
+			out = append(out, idx)
+		}
+	}
+	return out
+}

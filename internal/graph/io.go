@@ -1,0 +1,128 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList writes g in a simple text format:
+//
+//	n m [weighted] [signed]
+//	u v [weight] [sign]
+//	...
+//
+// one edge per line in canonical index order.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	header := fmt.Sprintf("%d %d", g.N(), g.M())
+	if g.Weighted() {
+		header += " weighted"
+	}
+	if g.Signed() {
+		header += " signed"
+	}
+	if _, err := fmt.Fprintln(bw, header); err != nil {
+		return err
+	}
+	for idx, e := range g.Edges() {
+		line := fmt.Sprintf("%d %d", e.U, e.V)
+		if g.Weighted() {
+			line += " " + strconv.FormatInt(g.Weight(idx), 10)
+		}
+		if g.Signed() {
+			line += " " + strconv.Itoa(int(g.Sign(idx)))
+		}
+		if _, err := fmt.Fprintln(bw, line); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the format produced by WriteEdgeList.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("graph: empty edge-list input")
+	}
+	head := strings.Fields(sc.Text())
+	if len(head) < 2 {
+		return nil, fmt.Errorf("graph: malformed header %q", sc.Text())
+	}
+	n, err := strconv.Atoi(head[0])
+	if err != nil {
+		return nil, fmt.Errorf("graph: bad vertex count %q: %w", head[0], err)
+	}
+	m, err := strconv.Atoi(head[1])
+	if err != nil {
+		return nil, fmt.Errorf("graph: bad edge count %q: %w", head[1], err)
+	}
+	weighted, signed := false, false
+	for _, tok := range head[2:] {
+		switch tok {
+		case "weighted":
+			weighted = true
+		case "signed":
+			signed = true
+		default:
+			return nil, fmt.Errorf("graph: unknown header flag %q", tok)
+		}
+	}
+	b := NewBuilder(n)
+	for i := 0; i < m; i++ {
+		if !sc.Scan() {
+			if err := sc.Err(); err != nil {
+				return nil, err
+			}
+			return nil, fmt.Errorf("graph: expected %d edges, got %d", m, i)
+		}
+		fields := strings.Fields(sc.Text())
+		want := 2
+		if weighted {
+			want++
+		}
+		if signed {
+			want++
+		}
+		if len(fields) != want {
+			return nil, fmt.Errorf("graph: edge line %d has %d fields, want %d", i, len(fields), want)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: bad endpoint %q: %w", fields[0], err)
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: bad endpoint %q: %w", fields[1], err)
+		}
+		next := 2
+		switch {
+		case weighted:
+			w, err := strconv.ParseInt(fields[next], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: bad weight %q: %w", fields[next], err)
+			}
+			b.AddWeightedEdge(u, v, w)
+			next++
+			if signed {
+				return nil, fmt.Errorf("graph: weighted+signed graphs not supported in edge-list I/O")
+			}
+		case signed:
+			s, err := strconv.Atoi(fields[next])
+			if err != nil || (s != 1 && s != -1) {
+				return nil, fmt.Errorf("graph: bad sign %q", fields[next])
+			}
+			b.AddSignedEdge(u, v, int8(s))
+		default:
+			b.AddEdge(u, v)
+		}
+	}
+	return b.Graph(), nil
+}

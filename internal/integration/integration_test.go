@@ -1,0 +1,189 @@
+// Package integration holds cross-module end-to-end tests: every
+// application run through every framework track (randomized/deterministic
+// routing, sequential/distributed decomposer), consistency between tracks,
+// and behaviour under injected message loss.
+package integration
+
+import (
+	"math/rand"
+	"testing"
+
+	"expandergap/internal/apps/corrclust"
+	"expandergap/internal/apps/matching"
+	"expandergap/internal/apps/maxis"
+	"expandergap/internal/apps/proptest"
+	"expandergap/internal/congest"
+	"expandergap/internal/core"
+	"expandergap/internal/graph"
+	"expandergap/internal/minor"
+	"expandergap/internal/solvers"
+)
+
+func TestMaxISAllTracks(t *testing.T) {
+	g := graph.Grid(6, 6)
+	opt := len(solvers.MaximumIndependentSet(g))
+	tracks := map[string]core.Options{
+		"randomized":    {},
+		"deterministic": {Deterministic: true},
+		"distributed":   {Decomposer: core.DistributedDecomposer},
+	}
+	for name, coreOpts := range tracks {
+		name, coreOpts := name, coreOpts
+		t.Run(name, func(t *testing.T) {
+			res, err := maxis.Approximate(g, maxis.Options{
+				Eps:  0.25,
+				Cfg:  congest.Config{Seed: 7},
+				Core: coreOpts,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !solvers.IsIndependentSet(g, res.Set) {
+				t.Fatal("not independent")
+			}
+			if float64(len(res.Set)) < 0.75*float64(opt) {
+				t.Errorf("size %d below 0.75·OPT %d", len(res.Set), opt)
+			}
+		})
+	}
+}
+
+func TestMatchingDeterministicTrack(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.RandomPlanar(40, 0.7, rng)
+	res, err := matching.ApproximateMCM(g, matching.Options{
+		Eps:  0.25,
+		Cfg:  congest.Config{Seed: 9},
+		Core: core.Options{Deterministic: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !solvers.IsMatching(g, res.Mate) {
+		t.Fatal("not a matching")
+	}
+	opt := solvers.MatchingSize(solvers.MaximumMatching(g))
+	if float64(res.Size()) < 0.75*float64(opt) {
+		t.Errorf("deterministic MCM %d below 0.75·OPT %d", res.Size(), opt)
+	}
+}
+
+func TestCorrClustDistributedDecomposer(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := graph.WithRandomSigns(graph.Grid(6, 6), 0.6, rng)
+	res, err := corrclust.Approximate(g, corrclust.Options{
+		Eps:  0.3,
+		Cfg:  congest.Config{Seed: 11},
+		Core: core.Options{Decomposer: core.DistributedDecomposer},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if 2*res.Score < int64(g.M()) {
+		t.Errorf("score %d below |E|/2 guarantee", res.Score)
+	}
+}
+
+func TestPropertyTestingDeterministicTrack(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	good := graph.RandomMaximalPlanar(50, rng)
+	v, err := proptest.Test(good, minor.Planarity(), proptest.Options{
+		Eps:  0.1,
+		Cfg:  congest.Config{Seed: 13},
+		Core: core.Options{Deterministic: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.AllAccept {
+		t.Error("planar input rejected on deterministic track")
+	}
+	bad := proptest.DisjointForbiddenCliques(5, 5)
+	v2, err := proptest.Test(bad, minor.Planarity(), proptest.Options{
+		Eps:  0.1,
+		Cfg:  congest.Config{Seed: 13},
+		Core: core.Options{Deterministic: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.AllAccept {
+		t.Error("far input accepted on deterministic track")
+	}
+}
+
+// Message loss must degrade gracefully: answers are either correct or
+// flagged undelivered; accepted MaxIS output stays independent.
+func TestMaxISUnderMessageLoss(t *testing.T) {
+	g := graph.Grid(6, 6)
+	res, err := maxis.Approximate(g, maxis.Options{
+		Eps: 0.25,
+		Cfg: congest.Config{Seed: 17, FaultRate: 0.001},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !solvers.IsIndependentSet(g, res.Set) {
+		t.Fatal("set not independent under faults")
+	}
+	// The failure indicator must cover any vertex that produced no answer.
+	for v := 0; v < g.N(); v++ {
+		if res.Solution.Undelivered[v] && res.InSet[v] {
+			// An undelivered vertex defaults to "not in set": safe. Being
+			// in the set while undelivered would be a consistency bug —
+			// unless the conflict rounds put it there, which they cannot.
+			t.Errorf("undelivered vertex %d ended in the set", v)
+		}
+	}
+}
+
+// One-sided error must survive message loss: a planar input is never
+// rejected, because every failure path in §3.4 maps loss to Accept.
+func TestPropertyTesterOneSidedUnderLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.RandomMaximalPlanar(40, rng)
+	for _, rate := range []float64{0.001, 0.01} {
+		v, err := proptest.Test(g, minor.Planarity(), proptest.Options{
+			Eps: 0.1,
+			Cfg: congest.Config{Seed: 19, FaultRate: rate},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v.AllAccept {
+			t.Errorf("rate %v: planar input rejected under loss (one-sided error broken)", rate)
+		}
+	}
+}
+
+// The two routing tracks agree on the full pipeline output for a fixed
+// decomposition (the answers are a function of the clusters, not the route).
+func TestTracksAgreeOnClusterAnswers(t *testing.T) {
+	g := graph.Torus(5, 5)
+	solver := func(cluster *graph.Graph, toOld []int) map[int]int64 {
+		out := make(map[int]int64)
+		for _, v := range toOld {
+			out[v] = int64(cluster.M())
+		}
+		return out
+	}
+	a, err := core.Run(g, core.Options{Eps: 0.4, Cfg: congest.Config{Seed: 21}}, solver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.Run(g, core.Options{Eps: 0.4, Cfg: congest.Config{Seed: 21}, Deterministic: true}, solver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		if a.Values[v] != b.Values[v] {
+			t.Errorf("vertex %d: randomized %d vs deterministic %d", v, a.Values[v], b.Values[v])
+		}
+	}
+	// Deterministic routing is usually cheaper in rounds at these sizes
+	// (tree depth + backlog vs random-walk hitting time); record, don't
+	// assert, but both must be positive.
+	if a.Metrics.Rounds == 0 || b.Metrics.Rounds == 0 {
+		t.Error("rounds not recorded")
+	}
+}

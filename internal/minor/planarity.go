@@ -1,0 +1,354 @@
+// Package minor implements planarity testing and exact H-minor containment
+// for the graph families this repository studies.
+//
+// Planarity is the flagship minor-closed property in the paper (Theorem 1.4
+// tests it distributedly; Theorem 3.2's matching algorithm is for planar
+// networks). The tester here is Demoucron's classic face-embedding algorithm
+// run per biconnected component, preceded by the Euler-formula edge-count
+// rejection. It is O(n^2)-ish and exact, which is all the cluster-local
+// checks in the framework need.
+//
+// The exact minor tester (HasMinor) is an exponential contract-and-check
+// search with memoization, intended for the small cluster graphs the
+// framework's leaders solve locally and for certifying generator families in
+// tests. By Wagner's theorem, IsPlanar(g) is equivalent to g having neither a
+// K5 nor a K3,3 minor, and the test suite cross-validates the two
+// implementations against each other.
+package minor
+
+import (
+	"expandergap/internal/graph"
+)
+
+// IsPlanar reports whether g is planar. It is exact.
+func IsPlanar(g *graph.Graph) bool {
+	n := g.N()
+	if n <= 4 {
+		return true
+	}
+	if g.M() > 3*n-6 {
+		return false
+	}
+	// Planarity is preserved under 1-cuts: test each biconnected component.
+	for _, compEdges := range g.BiconnectedComponents() {
+		if len(compEdges) <= 2 {
+			continue // a single edge or two edges cannot be non-planar
+		}
+		sub := componentGraph(g, compEdges)
+		if !biconnectedPlanar(sub) {
+			return false
+		}
+	}
+	return true
+}
+
+// componentGraph builds the subgraph on the vertices touched by compEdges,
+// relabeled to 0..k-1.
+func componentGraph(g *graph.Graph, compEdges []int) *graph.Graph {
+	verts := make(map[int]int)
+	var order []int
+	for _, ei := range compEdges {
+		e := g.EdgeAt(ei)
+		for _, v := range []int{e.U, e.V} {
+			if _, ok := verts[v]; !ok {
+				verts[v] = len(order)
+				order = append(order, v)
+			}
+		}
+	}
+	b := graph.NewBuilder(len(order))
+	for _, ei := range compEdges {
+		e := g.EdgeAt(ei)
+		b.AddEdge(verts[e.U], verts[e.V])
+	}
+	return b.Graph()
+}
+
+// face is a simple cycle of vertex IDs describing one face boundary of the
+// partial embedding. Because the embedded subgraph stays biconnected
+// throughout Demoucron's algorithm, boundaries are always simple cycles.
+type face []int
+
+func (f face) contains(v int) bool {
+	for _, u := range f {
+		if u == v {
+			return true
+		}
+	}
+	return false
+}
+
+// fragment is a bridge of G relative to the embedded subgraph: either a
+// single unembedded edge between two embedded vertices, or a connected
+// component of G minus the embedded vertices together with its attachment
+// edges.
+type fragment struct {
+	attachments []int        // embedded vertices the fragment touches
+	inner       map[int]bool // unembedded vertices of the fragment (nil for chords)
+	chord       [2]int       // valid when inner is empty
+}
+
+// biconnectedPlanar runs Demoucron's algorithm on a biconnected graph with at
+// least 3 edges.
+func biconnectedPlanar(g *graph.Graph) bool {
+	n := g.N()
+	if n <= 4 {
+		return true
+	}
+	if g.M() > 3*n-6 {
+		return false
+	}
+	cyc := findCycle(g)
+	if cyc == nil {
+		return true // acyclic: trivially planar (should not occur: biconnected with >=3 edges)
+	}
+
+	embedded := make([]bool, n) // vertex embedded?
+	embEdge := make(map[[2]int]bool)
+	addEmb := func(u, v int) {
+		if u > v {
+			u, v = v, u
+		}
+		embEdge[[2]int{u, v}] = true
+	}
+	hasEmb := func(u, v int) bool {
+		if u > v {
+			u, v = v, u
+		}
+		return embEdge[[2]int{u, v}]
+	}
+	for i, v := range cyc {
+		embedded[v] = true
+		addEmb(v, cyc[(i+1)%len(cyc)])
+	}
+	faces := []face{append(face(nil), cyc...), append(face(nil), cyc...)}
+
+	for {
+		frags := computeFragments(g, embedded, hasEmb)
+		if len(frags) == 0 {
+			return true
+		}
+		// For each fragment, find admissible faces.
+		bestIdx, bestFace := -1, -1
+		for fi, fr := range frags {
+			admissible := -1
+			count := 0
+			for i, f := range faces {
+				ok := true
+				for _, a := range fr.attachments {
+					if !f.contains(a) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					count++
+					admissible = i
+				}
+			}
+			if count == 0 {
+				return false
+			}
+			if count == 1 {
+				bestIdx, bestFace = fi, admissible
+				break
+			}
+			if bestIdx == -1 {
+				bestIdx, bestFace = fi, admissible
+			}
+		}
+		fr := frags[bestIdx]
+		path := fragmentPath(g, fr, embedded)
+		// Embed path into faces[bestFace], splitting it in two.
+		f := faces[bestFace]
+		a, b := path[0], path[len(path)-1]
+		ai, bi := indexOf(f, a), indexOf(f, b)
+		// Walk boundary a -> b forward and b -> a continuing forward.
+		var arc1, arc2 face
+		for i := ai; ; i = (i + 1) % len(f) {
+			arc1 = append(arc1, f[i])
+			if i == bi {
+				break
+			}
+		}
+		for i := bi; ; i = (i + 1) % len(f) {
+			arc2 = append(arc2, f[i])
+			if i == ai {
+				break
+			}
+		}
+		// New faces: arc1 + reverse(path interior), arc2 + path interior.
+		interior := path[1 : len(path)-1]
+		nf1 := append(face(nil), arc1...)
+		for i := len(interior) - 1; i >= 0; i-- {
+			nf1 = append(nf1, interior[i])
+		}
+		nf2 := append(face(nil), arc2...)
+		nf2 = append(nf2, interior...)
+		faces[bestFace] = nf1
+		faces = append(faces, nf2)
+		// Mark path embedded.
+		for i := 0; i+1 < len(path); i++ {
+			addEmb(path[i], path[i+1])
+		}
+		for _, v := range interior {
+			embedded[v] = true
+		}
+	}
+}
+
+func indexOf(f face, v int) int {
+	for i, u := range f {
+		if u == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// findCycle returns any simple cycle of g as a vertex list, or nil if acyclic.
+func findCycle(g *graph.Graph) []int {
+	n := g.N()
+	parent := make([]int, n)
+	state := make([]int, n) // 0 unseen, 1 active, 2 done
+	for i := range parent {
+		parent[i] = -1
+	}
+	for root := 0; root < n; root++ {
+		if state[root] != 0 {
+			continue
+		}
+		// Iterative DFS tracking the tree path.
+		type fr struct{ v, next int }
+		stack := []fr{{root, 0}}
+		state[root] = 1
+		for len(stack) > 0 {
+			top := &stack[len(stack)-1]
+			v := top.v
+			nbrs := g.Neighbors(v)
+			if top.next < len(nbrs) {
+				u := nbrs[top.next]
+				top.next++
+				if u == parent[v] {
+					continue
+				}
+				if state[u] == 1 {
+					// Found a cycle: walk v back to u.
+					cyc := []int{v}
+					for x := v; x != u; x = parent[x] {
+						cyc = append(cyc, parent[x])
+					}
+					return cyc
+				}
+				if state[u] == 0 {
+					state[u] = 1
+					parent[u] = v
+					stack = append(stack, fr{u, 0})
+				}
+			} else {
+				state[v] = 2
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return nil
+}
+
+// computeFragments finds all bridges of g relative to the embedded subgraph.
+func computeFragments(g *graph.Graph, embedded []bool, hasEmb func(u, v int) bool) []fragment {
+	n := g.N()
+	var frags []fragment
+	// Chord fragments: unembedded edges between embedded vertices.
+	for _, e := range g.Edges() {
+		if embedded[e.U] && embedded[e.V] && !hasEmb(e.U, e.V) {
+			frags = append(frags, fragment{
+				attachments: []int{e.U, e.V},
+				chord:       [2]int{e.U, e.V},
+			})
+		}
+	}
+	// Component fragments: connected components of unembedded vertices.
+	seen := make([]bool, n)
+	for s := 0; s < n; s++ {
+		if embedded[s] || seen[s] {
+			continue
+		}
+		inner := map[int]bool{s: true}
+		attachSet := map[int]bool{}
+		queue := []int{s}
+		seen[s] = true
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, u := range g.Neighbors(v) {
+				if embedded[u] {
+					attachSet[u] = true
+				} else if !seen[u] {
+					seen[u] = true
+					inner[u] = true
+					queue = append(queue, u)
+				}
+			}
+		}
+		attachments := make([]int, 0, len(attachSet))
+		for v := range attachSet {
+			attachments = append(attachments, v)
+		}
+		frags = append(frags, fragment{attachments: attachments, inner: inner})
+	}
+	return frags
+}
+
+// fragmentPath returns a path through the fragment between two distinct
+// attachment vertices, with all interior vertices unembedded.
+func fragmentPath(g *graph.Graph, fr fragment, embedded []bool) []int {
+	if len(fr.inner) == 0 {
+		return []int{fr.chord[0], fr.chord[1]}
+	}
+	// BFS from attachment a through inner vertices to any other attachment.
+	a := fr.attachments[0]
+	target := make(map[int]bool)
+	for _, t := range fr.attachments[1:] {
+		target[t] = true
+	}
+	parent := map[int]int{a: a}
+	queue := []int{a}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.Neighbors(v) {
+			if _, ok := parent[u]; ok {
+				continue
+			}
+			if v == a && !fr.inner[u] {
+				// The first hop must enter the fragment interior; a direct
+				// a-b edge either is already embedded or belongs to a chord
+				// fragment of its own.
+				continue
+			}
+			if fr.inner[u] {
+				parent[u] = v
+				queue = append(queue, u)
+				continue
+			}
+			if target[u] {
+				parent[u] = v
+				path := []int{u}
+				for x := u; x != a; x = parent[x] {
+					path = append(path, parent[x])
+				}
+				reverse(path)
+				return path
+			}
+		}
+	}
+	// Biconnected input guarantees >= 2 attachments reachable; reaching here
+	// would mean the fragment has a single attachment, which cannot happen.
+	panic("minor: fragment with unreachable second attachment (input not biconnected?)")
+}
+
+func reverse(a []int) {
+	for i, j := 0, len(a)-1; i < j; i, j = i+1, j-1 {
+		a[i], a[j] = a[j], a[i]
+	}
+}

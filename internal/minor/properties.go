@@ -1,0 +1,113 @@
+package minor
+
+import (
+	"expandergap/internal/graph"
+)
+
+// This file adds exact decision procedures for further minor-closed,
+// union-closed properties beyond planarity — the generality Theorem 1.4
+// claims. Each comes with its forbidden-minor characterization so tests can
+// cross-validate the specialized recognizer against the generic HasMinor
+// search.
+
+// IsOuterplanar reports whether g is outerplanar, exactly, via the apex
+// characterization: g is outerplanar iff g plus a universal apex vertex is
+// planar (the apex forces every vertex onto the outer face).
+func IsOuterplanar(g *graph.Graph) bool {
+	n := g.N()
+	if n <= 2 {
+		return true
+	}
+	b := graph.NewBuilder(n + 1)
+	for _, e := range g.Edges() {
+		b.AddEdge(e.U, e.V)
+	}
+	for v := 0; v < n; v++ {
+		b.AddEdge(n, v)
+	}
+	return IsPlanar(b.Graph())
+}
+
+// Outerplanarity is the outerplanar-graphs property with forbidden minors
+// {K4, K2,3} and the apex-planarity check as the exact decision procedure.
+func Outerplanarity() Property {
+	return Property{
+		Name:      "outerplanar",
+		Forbidden: []*graph.Graph{graph.Complete(4), graph.CompleteBipartite(2, 3)},
+		Check:     IsOuterplanar,
+	}
+}
+
+// HasTreewidthAtMost2 reports whether g has treewidth at most 2
+// (equivalently: g is K4-minor-free; equivalently: every biconnected
+// component is series-parallel), exactly, via the classic reduction: a graph
+// has treewidth ≤ 2 iff it can be reduced to the empty graph by repeatedly
+// deleting vertices of degree ≤ 1 and bypassing vertices of degree 2
+// (connecting their two neighbors).
+func HasTreewidthAtMost2(g *graph.Graph) bool {
+	n := g.N()
+	// Mutable adjacency sets (parallel edges collapse, which is safe: a
+	// bypass creating an existing edge only helps the reduction).
+	adj := make([]map[int]bool, n)
+	for v := 0; v < n; v++ {
+		adj[v] = make(map[int]bool)
+	}
+	for _, e := range g.Edges() {
+		adj[e.U][e.V] = true
+		adj[e.V][e.U] = true
+	}
+	alive := make([]bool, n)
+	remaining := n
+	for v := range alive {
+		alive[v] = true
+	}
+	queue := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		queue = append(queue, v)
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if !alive[v] || len(adj[v]) > 2 {
+			continue
+		}
+		switch len(adj[v]) {
+		case 0:
+			alive[v] = false
+			remaining--
+		case 1:
+			var u int
+			for w := range adj[v] {
+				u = w
+			}
+			delete(adj[u], v)
+			alive[v] = false
+			remaining--
+			queue = append(queue, u)
+		case 2:
+			var nbrs []int
+			for w := range adj[v] {
+				nbrs = append(nbrs, w)
+			}
+			a, c := nbrs[0], nbrs[1]
+			delete(adj[a], v)
+			delete(adj[c], v)
+			adj[a][c] = true
+			adj[c][a] = true
+			alive[v] = false
+			remaining--
+			queue = append(queue, a, c)
+		}
+	}
+	return remaining == 0
+}
+
+// TreewidthAtMost2 is the series-parallel property with forbidden minor
+// {K4} and the reduction-based recognizer.
+func TreewidthAtMost2() Property {
+	return Property{
+		Name:      "treewidth<=2",
+		Forbidden: []*graph.Graph{graph.Complete(4)},
+		Check:     HasTreewidthAtMost2,
+	}
+}

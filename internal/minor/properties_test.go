@@ -1,0 +1,120 @@
+package minor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"expandergap/internal/graph"
+)
+
+func TestIsOuterplanarKnown(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want bool
+	}{
+		{"cycle", graph.Cycle(8), true},
+		{"path", graph.Path(8), true},
+		{"K3", graph.Complete(3), true},
+		{"K4", graph.Complete(4), false},
+		{"K23", graph.CompleteBipartite(2, 3), false},
+		{"fan", graph.RandomOuterplanar(12, rng), true},
+		{"grid3x3", graph.Grid(3, 3), false}, // contains K2,3 minor
+		{"star", graph.Star(6), true},
+		{"two-triangles", graph.Disjoint(graph.Cycle(3), graph.Cycle(3)), true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := IsOuterplanar(tc.g); got != tc.want {
+				t.Errorf("IsOuterplanar = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// Cross-validate the apex recognizer against the forbidden minors {K4, K2,3}
+// on small random graphs.
+func TestQuickOuterplanarForbiddenMinors(t *testing.T) {
+	k4 := graph.Complete(4)
+	k23 := graph.CompleteBipartite(2, 3)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(4)
+		g := graph.ErdosRenyi(n, 0.4, rng)
+		byApex := IsOuterplanar(g)
+		byMinors := !HasMinor(g, k4) && !HasMinor(g, k23)
+		return byApex == byMinors
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHasTreewidthAtMost2Known(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want bool
+	}{
+		{"tree", graph.RandomTree(20, rng), true},
+		{"cycle", graph.Cycle(10), true},
+		{"K3", graph.Complete(3), true},
+		{"K4", graph.Complete(4), false},
+		{"outerplanar", graph.RandomOuterplanar(15, rng), true},
+		{"2tree", graph.KTree(12, 2, rng), true},
+		{"3tree", graph.KTree(12, 3, rng), false},
+		{"grid4x4", graph.Grid(4, 4), false},
+		{"K23", graph.CompleteBipartite(2, 3), true}, // series-parallel
+		{"empty", graph.NewBuilder(5).Graph(), true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := HasTreewidthAtMost2(tc.g); got != tc.want {
+				t.Errorf("HasTreewidthAtMost2 = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// Cross-validate the reduction against the forbidden minor {K4}.
+func TestQuickTreewidth2ForbiddenMinor(t *testing.T) {
+	k4 := graph.Complete(4)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(5)
+		g := graph.ErdosRenyi(n, 0.35, rng)
+		return HasTreewidthAtMost2(g) == !HasMinor(g, k4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyHierarchy(t *testing.T) {
+	// outerplanar ⊂ treewidth≤2 ⊂ planar on a sample of graphs.
+	rng := rand.New(rand.NewSource(3))
+	op := Outerplanarity()
+	tw := TreewidthAtMost2()
+	pl := Planarity()
+	for i := 0; i < 20; i++ {
+		g := graph.ErdosRenyi(7, 0.35, rng)
+		if op.Holds(g) && !tw.Holds(g) {
+			t.Errorf("outerplanar graph with treewidth > 2: %v", g)
+		}
+		if tw.Holds(g) && !pl.Holds(g) {
+			t.Errorf("treewidth<=2 graph that is not planar: %v", g)
+		}
+	}
+}
+
+func TestNewPropertiesCliqueBounds(t *testing.T) {
+	if s, ok := Outerplanarity().CliqueNumberBound(8); !ok || s != 4 {
+		t.Errorf("outerplanar clique bound = %d, want 4", s)
+	}
+	if s, ok := TreewidthAtMost2().CliqueNumberBound(8); !ok || s != 4 {
+		t.Errorf("treewidth<=2 clique bound = %d, want 4", s)
+	}
+}

@@ -1,0 +1,51 @@
+package routing
+
+import (
+	"testing"
+
+	"expandergap/internal/congest"
+	"expandergap/internal/graph"
+)
+
+// §2.3 failure semantics under genuine message loss: lost tokens or lost
+// responses surface as missing responses at the origin (detectable), never
+// as corrupted payloads or crashes.
+func TestExchangeUnderFaultsFailsDetectably(t *testing.T) {
+	g := graph.Grid(5, 5)
+	plan := wholeGraphPlan(g, 0, 4000, RandomWalk)
+	res, _, err := Exchange(g, congest.Config{Seed: 3, FaultRate: 0.02}, plan, oneTokenEach(g),
+		func(leader int, tok Token) (int64, int64) { return tok.A + 1, tok.B })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Whatever was delivered must be intact.
+	for v := 0; v < g.N(); v++ {
+		for _, resp := range res.Responses[v] {
+			if resp.A != int64(v*10+1) {
+				t.Errorf("vertex %d: corrupted response %+v", v, resp)
+			}
+		}
+	}
+	// Accounting must be consistent: delivered (to leaders) is counted at
+	// absorption; responses can be fewer (reverse path can drop too), so
+	// undelivered = total - responses must be >= 0 and the totals add up.
+	got := 0
+	for v := range res.Responses {
+		got += len(res.Responses[v])
+	}
+	if got+res.Undelivered != g.N() {
+		t.Errorf("responses %d + undelivered %d != tokens %d", got, res.Undelivered, g.N())
+	}
+}
+
+func TestExchangeHeavyFaultsLoseTokens(t *testing.T) {
+	g := graph.Grid(5, 5)
+	plan := wholeGraphPlan(g, 0, 500, RandomWalk)
+	res, _, err := Exchange(g, congest.Config{Seed: 5, FaultRate: 0.3}, plan, oneTokenEach(g), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Undelivered == 0 {
+		t.Error("30% message loss should lose some tokens")
+	}
+}

@@ -1,0 +1,391 @@
+// Package routing implements the information-gathering machinery of Section
+// 2.2 of the paper: routing O(log n)-bit tokens from every cluster vertex to
+// the cluster leader v*, and routing per-token responses back.
+//
+// The forward direction follows Lemma 2.4 literally: each token performs a
+// uniform lazy random walk restricted to its cluster until it hits the
+// leader. Congestion is handled exactly as the model requires — at most one
+// token crosses an edge per direction per round; blocked tokens wait, which
+// is the O(log n) slowdown the lemma's Chernoff argument budgets for.
+//
+// The reverse direction implements the paper's "reversing the routing
+// procedure" (§2.2 and §2.3): every vertex logs each (token, port, round)
+// arrival during the forward phase, and responses retrace the walks
+// backwards in reversed time order. Because at most one token crossed each
+// (edge, direction, round) forward, the reverse schedule is collision-free.
+//
+// A deterministic tree strategy (tokens climb a BFS tree toward the leader,
+// FIFO per edge) stands in for the paper's Lemma 2.5 deterministic routing;
+// it has the same interface and failure semantics.
+//
+// Undelivered tokens (forward budget exhausted) simply produce no response;
+// origins detect the failure locally, which is exactly the failure-detection
+// behavior §2.3 builds on.
+package routing
+
+import (
+	"fmt"
+	"math"
+
+	"expandergap/internal/congest"
+	"expandergap/internal/graph"
+	"expandergap/internal/primitives"
+)
+
+// Token is one O(log n)-bit routable unit: an origin, a per-origin sequence
+// number, and two payload words.
+type Token struct {
+	Origin int
+	Seq    int
+	A, B   int64
+}
+
+// Strategy selects the forwarding rule.
+type Strategy int
+
+const (
+	// RandomWalk is Lemma 2.4's lazy-random-walk routing.
+	RandomWalk Strategy = iota + 1
+	// TreeParent deterministically climbs a BFS tree toward the leader
+	// (Lemma 2.5 stand-in).
+	TreeParent
+)
+
+// Plan describes a routing instance.
+type Plan struct {
+	// Cluster assigns vertices to clusters; tokens never leave their
+	// cluster.
+	Cluster primitives.ClusterAssignment
+	// Leader maps each vertex to its cluster leader's vertex ID.
+	Leader []int
+	// Parent maps each vertex to its BFS parent toward the leader
+	// (required for TreeParent; ignored for RandomWalk).
+	Parent []int
+	// ForwardRounds is the forward-phase budget T. The full exchange takes
+	// 2T+2 rounds.
+	ForwardRounds int
+	// Strategy selects the forwarding rule.
+	Strategy Strategy
+}
+
+// WalkBudget returns a forward-round budget for Lemma 2.4 routing on a
+// cluster with conductance at least phi inside an n-vertex network:
+// Θ(φ⁻² · log² n) walk steps (the lemma's O(φ⁻² log n) segments of length
+// τ_mix = O(φ⁻² log n) are capped here by the empirical constant 6, with the
+// congestion slack folded in).
+func WalkBudget(phi float64, n int) int {
+	if phi <= 0 {
+		phi = 1e-3
+	}
+	ln := math.Log(float64(n) + 2)
+	b := int(math.Ceil(6 * ln * ln / (phi * phi)))
+	if b < 16 {
+		b = 16
+	}
+	return b
+}
+
+// ExchangeResult reports a completed routing exchange.
+type ExchangeResult struct {
+	// Responses[v] lists the response tokens origin v received, in seq
+	// order. A token with no response was undelivered.
+	Responses [][]Token
+	// Delivered counts tokens absorbed by leaders.
+	Delivered int
+	// Undelivered counts tokens that missed the forward budget.
+	Undelivered int
+	// LeaderLoad counts absorbed tokens per leader vertex.
+	LeaderLoad map[int]int
+}
+
+const (
+	kindForward = int64(1)
+	kindReverse = int64(2)
+)
+
+type visit struct {
+	port  int
+	round int
+}
+
+type pendingSend struct {
+	round int
+	port  int
+	tok   Token
+}
+
+type routeHandler struct {
+	plan         *Plan
+	isLeader     bool
+	samePorts    []int
+	queue        []Token // tokens currently held (forward phase)
+	visits       map[[2]int][]visit
+	absorbed     []Token // leader only
+	absorbLog    map[[2]int]visit
+	reverse      []pendingSend
+	responses    []Token
+	respond      func(leader int, t Token) (int64, int64)
+	respondBatch func(leader int, inbox []Token) [][2]int64
+	total        int // 2T+2
+}
+
+func key(t Token) [2]int { return [2]int{t.Origin, t.Seq} }
+
+func (h *routeHandler) Init(v *congest.Vertex) {
+	v.Broadcast(congest.Message{int64(h.plan.Cluster[v.ID()])})
+}
+
+func (h *routeHandler) Round(v *congest.Vertex, round int, recv []congest.Incoming) {
+	T := h.plan.ForwardRounds
+	if round == 1 {
+		for _, in := range recv {
+			if len(in.Msg) == 1 && in.Msg[0] == int64(h.plan.Cluster[v.ID()]) {
+				h.samePorts = append(h.samePorts, in.Port)
+			}
+		}
+		return
+	}
+	pr := round - 1 // phase round: 1..T forward, T+1 respond, up to 2T+2
+	// Absorb incoming.
+	for _, in := range recv {
+		if len(in.Msg) != 5 {
+			continue
+		}
+		tok := Token{Origin: int(in.Msg[1]), Seq: int(in.Msg[2]), A: in.Msg[3], B: in.Msg[4]}
+		switch in.Msg[0] {
+		case kindForward:
+			if h.isLeader {
+				h.absorbed = append(h.absorbed, tok)
+				h.absorbLog[key(tok)] = visit{port: in.Port, round: pr}
+			} else {
+				h.visits[key(tok)] = append(h.visits[key(tok)], visit{port: in.Port, round: pr})
+				h.queue = append(h.queue, tok)
+			}
+		case kindReverse:
+			h.handleReverseArrival(v, tok)
+		}
+	}
+	switch {
+	case pr < T:
+		h.forwardStep(v, pr)
+	case pr == T:
+		// Last forward round: no sends (they would arrive after the phase).
+	case pr == T+1:
+		h.leaderRespond(v)
+	}
+	// Emit due reverse sends.
+	h.flushReverse(v, pr)
+	if pr >= h.total {
+		v.SetOutput(h.responses)
+		v.Halt()
+	}
+}
+
+func (h *routeHandler) forwardStep(v *congest.Vertex, pr int) {
+	if len(h.queue) == 0 || len(h.samePorts) == 0 {
+		return
+	}
+	usedPort := make(map[int]bool)
+	var stay []Token
+	for _, tok := range h.queue {
+		var port int
+		switch h.plan.Strategy {
+		case RandomWalk:
+			// Lazy step: stay with probability 1/2.
+			if v.Rand().Intn(2) == 0 {
+				stay = append(stay, tok)
+				continue
+			}
+			port = h.samePorts[v.Rand().Intn(len(h.samePorts))]
+		case TreeParent:
+			port = v.PortOf(h.plan.Parent[v.ID()])
+			if port < 0 {
+				stay = append(stay, tok)
+				continue
+			}
+		default:
+			panic(fmt.Sprintf("routing: unknown strategy %d", h.plan.Strategy))
+		}
+		if usedPort[port] {
+			// Edge busy this round: wait (counts as a lazy step).
+			stay = append(stay, tok)
+			continue
+		}
+		usedPort[port] = true
+		v.Send(port, congest.Message{kindForward, int64(tok.Origin), int64(tok.Seq), tok.A, tok.B})
+	}
+	h.queue = stay
+}
+
+func (h *routeHandler) leaderRespond(v *congest.Vertex) {
+	if !h.isLeader {
+		return
+	}
+	C := h.total
+	var batch [][2]int64
+	if h.respondBatch != nil {
+		batch = h.respondBatch(v.ID(), h.absorbed)
+		if len(batch) != len(h.absorbed) {
+			panic(fmt.Sprintf("routing: batch responder returned %d responses for %d tokens",
+				len(batch), len(h.absorbed)))
+		}
+	}
+	for i, tok := range h.absorbed {
+		ra, rb := tok.A, tok.B
+		switch {
+		case batch != nil:
+			ra, rb = batch[i][0], batch[i][1]
+		case h.respond != nil:
+			ra, rb = h.respond(v.ID(), tok)
+		}
+		resp := Token{Origin: tok.Origin, Seq: tok.Seq, A: ra, B: rb}
+		if tok.Origin == v.ID() {
+			h.responses = append(h.responses, resp)
+			continue
+		}
+		arr := h.absorbLog[key(tok)]
+		h.reverse = append(h.reverse, pendingSend{round: C - arr.round, port: arr.port, tok: resp})
+	}
+}
+
+func (h *routeHandler) handleReverseArrival(v *congest.Vertex, tok Token) {
+	k := key(tok)
+	vs := h.visits[k]
+	if len(vs) == 0 {
+		// No earlier visit: this vertex is the token's origin.
+		h.responses = append(h.responses, tok)
+		return
+	}
+	last := vs[len(vs)-1]
+	h.visits[k] = vs[:len(vs)-1]
+	h.reverse = append(h.reverse, pendingSend{round: h.total - last.round, port: last.port, tok: tok})
+}
+
+func (h *routeHandler) flushReverse(v *congest.Vertex, pr int) {
+	if len(h.reverse) == 0 {
+		return
+	}
+	var keep []pendingSend
+	for _, ps := range h.reverse {
+		if ps.round == pr {
+			v.Send(ps.port, congest.Message{kindReverse, int64(ps.tok.Origin), int64(ps.tok.Seq), ps.tok.A, ps.tok.B})
+		} else {
+			keep = append(keep, ps)
+		}
+	}
+	h.reverse = keep
+}
+
+// Exchange routes each origin's tokens to its cluster leader and, if respond
+// is non-nil, routes the leader's per-token responses back along the
+// reversed walks. tokens[v] lists vertex v's outgoing tokens (Origin/Seq are
+// set by Exchange).
+func Exchange(g *graph.Graph, cfg congest.Config, plan Plan, tokens [][]Token, respond func(leader int, t Token) (int64, int64)) (*ExchangeResult, congest.Metrics, error) {
+	return exchange(g, cfg, plan, tokens, respond, nil)
+}
+
+// ExchangeBatch is Exchange with a batch responder: after a leader has
+// absorbed all delivered forward tokens, respondBatch is called once with
+// the complete inbox and must return one (A, B) response per inbox token, in
+// order. This models the leader performing an arbitrary local computation on
+// everything it gathered before answering — the heart of the paper's
+// framework (Theorem 2.6's routing step).
+func ExchangeBatch(g *graph.Graph, cfg congest.Config, plan Plan, tokens [][]Token, respondBatch func(leader int, inbox []Token) [][2]int64) (*ExchangeResult, congest.Metrics, error) {
+	return exchange(g, cfg, plan, tokens, nil, respondBatch)
+}
+
+func exchange(g *graph.Graph, cfg congest.Config, plan Plan, tokens [][]Token, respond func(leader int, t Token) (int64, int64), respondBatch func(leader int, inbox []Token) [][2]int64) (*ExchangeResult, congest.Metrics, error) {
+	n := g.N()
+	if err := plan.Cluster.Validate(g); err != nil {
+		return nil, congest.Metrics{}, err
+	}
+	if len(plan.Leader) != n {
+		return nil, congest.Metrics{}, fmt.Errorf("routing: leader slice has %d entries, want %d", len(plan.Leader), n)
+	}
+	if plan.Strategy == TreeParent && len(plan.Parent) != n {
+		return nil, congest.Metrics{}, fmt.Errorf("routing: tree strategy needs parents")
+	}
+	if plan.ForwardRounds < 1 {
+		return nil, congest.Metrics{}, fmt.Errorf("routing: forward budget must be >= 1, got %d", plan.ForwardRounds)
+	}
+	if plan.Strategy == 0 {
+		plan.Strategy = RandomWalk
+	}
+	const maxSeq = 900 // keeps the seq word well inside the CONGEST cap
+	totalTokens := 0
+	for v := range tokens {
+		if len(tokens[v]) > maxSeq {
+			return nil, congest.Metrics{}, fmt.Errorf("routing: vertex %d has %d tokens, cap is %d", v, len(tokens[v]), maxSeq)
+		}
+		totalTokens += len(tokens[v])
+	}
+	total := 2*plan.ForwardRounds + 2
+	sim := congest.NewSimulator(g, cfg)
+	res, err := sim.Run(func(v *congest.Vertex) congest.Handler {
+		h := &routeHandler{
+			plan:         &plan,
+			isLeader:     plan.Leader[v.ID()] == v.ID(),
+			visits:       make(map[[2]int][]visit),
+			absorbLog:    make(map[[2]int]visit),
+			respond:      respond,
+			respondBatch: respondBatch,
+			total:        total,
+		}
+		for i, tok := range tokens[v.ID()] {
+			tok.Origin = v.ID()
+			tok.Seq = i
+			if h.isLeader {
+				// Leader's own tokens are absorbed locally before round 1.
+				h.absorbed = append(h.absorbed, tok)
+				h.absorbLog[key(tok)] = visit{port: -1, round: 0}
+			} else {
+				h.queue = append(h.queue, tok)
+			}
+		}
+		return h
+	})
+	if err != nil {
+		return nil, res.Metrics, err
+	}
+	out := &ExchangeResult{
+		Responses:  make([][]Token, n),
+		LeaderLoad: make(map[int]int),
+	}
+	for v := 0; v < n; v++ {
+		if res.Outputs[v] == nil {
+			continue
+		}
+		resp := res.Outputs[v].([]Token)
+		// Sort by seq for determinism.
+		for i := 1; i < len(resp); i++ {
+			for j := i; j > 0 && resp[j-1].Seq > resp[j].Seq; j-- {
+				resp[j-1], resp[j] = resp[j], resp[j-1]
+			}
+		}
+		out.Responses[v] = resp
+		out.Delivered += len(resp)
+	}
+	out.Undelivered = totalTokens - out.Delivered
+	for v := 0; v < n; v++ {
+		if out.Responses[v] != nil {
+			out.LeaderLoad[plan.Leader[v]] += len(out.Responses[v])
+		}
+	}
+	return out, res.Metrics, nil
+}
+
+// GatherOnly routes tokens to leaders without responses and returns what
+// each leader absorbed. It runs the same forward phase as Exchange; the
+// reverse phase degenerates to echoing delivery confirmations, which is how
+// origins learn their token arrived (the §2.3 delivery check).
+func GatherOnly(g *graph.Graph, cfg congest.Config, plan Plan, tokens [][]Token) (map[int][]Token, *ExchangeResult, congest.Metrics, error) {
+	inbox := make(map[int][]Token)
+	res, metrics, err := Exchange(g, cfg, plan, tokens, func(leader int, t Token) (int64, int64) {
+		inbox[leader] = append(inbox[leader], t)
+		return t.A, t.B
+	})
+	if err != nil {
+		return nil, nil, metrics, err
+	}
+	return inbox, res, metrics, nil
+}

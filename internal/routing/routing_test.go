@@ -1,0 +1,276 @@
+package routing
+
+import (
+	"testing"
+
+	"expandergap/internal/congest"
+	"expandergap/internal/graph"
+	"expandergap/internal/primitives"
+)
+
+// wholeGraphPlan builds a single-cluster plan with the given leader.
+func wholeGraphPlan(g *graph.Graph, leader int, budget int, strat Strategy) Plan {
+	lead := make([]int, g.N())
+	for v := range lead {
+		lead[v] = leader
+	}
+	return Plan{
+		Cluster:       primitives.Uniform(g.N()),
+		Leader:        lead,
+		ForwardRounds: budget,
+		Strategy:      strat,
+	}
+}
+
+func oneTokenEach(g *graph.Graph) [][]Token {
+	tokens := make([][]Token, g.N())
+	for v := range tokens {
+		tokens[v] = []Token{{A: int64(v * 10), B: int64(v)}}
+	}
+	return tokens
+}
+
+func TestWalkExchangeDeliversAll(t *testing.T) {
+	g := graph.Complete(8)
+	plan := wholeGraphPlan(g, 3, WalkBudget(0.5, g.N()), RandomWalk)
+	seen := make(map[int][2]int64)
+	res, metrics, err := Exchange(g, congest.Config{Seed: 5}, plan, oneTokenEach(g),
+		func(leader int, tok Token) (int64, int64) {
+			seen[tok.Origin] = [2]int64{tok.A, tok.B}
+			return tok.A + 1, tok.B + 1
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Undelivered != 0 {
+		t.Fatalf("undelivered = %d, want 0", res.Undelivered)
+	}
+	if res.Delivered != g.N() {
+		t.Fatalf("delivered = %d, want %d", res.Delivered, g.N())
+	}
+	for v := 0; v < g.N(); v++ {
+		got, ok := seen[v]
+		if !ok {
+			t.Fatalf("leader never saw vertex %d's token", v)
+		}
+		if got[0] != int64(v*10) || got[1] != int64(v) {
+			t.Errorf("payload corrupted for %d: %v", v, got)
+		}
+		resp := res.Responses[v]
+		if len(resp) != 1 {
+			t.Fatalf("vertex %d got %d responses, want 1", v, len(resp))
+		}
+		if resp[0].A != int64(v*10+1) || resp[0].B != int64(v+1) {
+			t.Errorf("vertex %d response = %+v", v, resp[0])
+		}
+	}
+	if metrics.Rounds != 2*plan.ForwardRounds+2+1 {
+		t.Errorf("rounds = %d, want %d", metrics.Rounds, 2*plan.ForwardRounds+3)
+	}
+}
+
+func TestWalkExchangeOnExpanderCluster(t *testing.T) {
+	// A grid has moderate conductance; the budget formula must suffice.
+	g := graph.Grid(6, 6)
+	plan := wholeGraphPlan(g, 0, WalkBudget(0.15, g.N()), RandomWalk)
+	res, _, err := Exchange(g, congest.Config{Seed: 7}, plan, oneTokenEach(g), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Undelivered != 0 {
+		t.Errorf("undelivered = %d on 6x6 grid with generous budget", res.Undelivered)
+	}
+	// nil respond echoes payloads.
+	for v := 0; v < g.N(); v++ {
+		if len(res.Responses[v]) != 1 || res.Responses[v][0].A != int64(v*10) {
+			t.Errorf("echo response wrong for %d: %v", v, res.Responses[v])
+		}
+	}
+}
+
+func TestWalkExchangeShortBudgetReportsUndelivered(t *testing.T) {
+	g := graph.Path(30)
+	plan := wholeGraphPlan(g, 0, 4, RandomWalk) // far too few rounds
+	res, _, err := Exchange(g, congest.Config{Seed: 3}, plan, oneTokenEach(g), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Undelivered == 0 {
+		t.Error("a 4-round budget cannot deliver across a 30-path")
+	}
+	// Undelivered origins got no response.
+	nothing := 0
+	for v := 0; v < g.N(); v++ {
+		if len(res.Responses[v]) == 0 {
+			nothing++
+		}
+	}
+	if nothing != res.Undelivered {
+		t.Errorf("responseless origins %d != undelivered %d", nothing, res.Undelivered)
+	}
+}
+
+func TestTreeExchangeDeterministicDelivery(t *testing.T) {
+	g := graph.BalancedBinaryTree(15)
+	parent := make([]int, g.N())
+	for v := 1; v < g.N(); v++ {
+		parent[v] = (v - 1) / 2
+	}
+	parent[0] = 0
+	plan := wholeGraphPlan(g, 0, 64, TreeParent)
+	plan.Parent = parent
+	res, _, err := Exchange(g, congest.Config{Seed: 1}, plan, oneTokenEach(g), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Undelivered != 0 {
+		t.Fatalf("tree routing undelivered = %d", res.Undelivered)
+	}
+	if res.LeaderLoad[0] != g.N() {
+		t.Errorf("leader load = %d, want %d", res.LeaderLoad[0], g.N())
+	}
+}
+
+func TestExchangeRespectsClusters(t *testing.T) {
+	// Two clusters on a path; each token must reach its own leader only.
+	g := graph.Path(8)
+	cluster := primitives.ClusterAssignment{0, 0, 0, 0, 1, 1, 1, 1}
+	leader := []int{0, 0, 0, 0, 7, 7, 7, 7}
+	plan := Plan{
+		Cluster:       cluster,
+		Leader:        leader,
+		ForwardRounds: 200,
+		Strategy:      RandomWalk,
+	}
+	inbox, res, _, err := GatherOnly(g, congest.Config{Seed: 9}, plan, oneTokenEach(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Undelivered != 0 {
+		t.Fatalf("undelivered = %d", res.Undelivered)
+	}
+	for leaderID, toks := range inbox {
+		for _, tok := range toks {
+			if cluster[tok.Origin] != cluster[leaderID] {
+				t.Errorf("token from %d leaked to leader %d", tok.Origin, leaderID)
+			}
+		}
+	}
+	if len(inbox[0]) != 4 || len(inbox[7]) != 4 {
+		t.Errorf("leader inboxes: %d and %d, want 4 and 4", len(inbox[0]), len(inbox[7]))
+	}
+}
+
+func TestExchangeMultipleTokensPerVertex(t *testing.T) {
+	g := graph.Complete(6)
+	tokens := make([][]Token, g.N())
+	for v := range tokens {
+		for j := 0; j < 5; j++ {
+			tokens[v] = append(tokens[v], Token{A: int64(v), B: int64(j)})
+		}
+	}
+	plan := wholeGraphPlan(g, 0, 400, RandomWalk)
+	res, _, err := Exchange(g, congest.Config{Seed: 11}, plan, tokens,
+		func(leader int, tok Token) (int64, int64) { return tok.B, tok.A })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Undelivered != 0 {
+		t.Fatalf("undelivered = %d", res.Undelivered)
+	}
+	for v := 0; v < g.N(); v++ {
+		if len(res.Responses[v]) != 5 {
+			t.Fatalf("vertex %d: %d responses, want 5", v, len(res.Responses[v]))
+		}
+		for j, resp := range res.Responses[v] {
+			if resp.Seq != j {
+				t.Errorf("vertex %d responses out of order: %v", v, res.Responses[v])
+				break
+			}
+			if resp.A != int64(j) || resp.B != int64(v) {
+				t.Errorf("vertex %d token %d: swapped payload wrong: %+v", v, j, resp)
+			}
+		}
+	}
+}
+
+func TestExchangeValidation(t *testing.T) {
+	g := graph.Path(4)
+	base := wholeGraphPlan(g, 0, 10, RandomWalk)
+
+	short := base
+	short.Leader = []int{0}
+	if _, _, err := Exchange(g, congest.Config{}, short, make([][]Token, 4), nil); err == nil {
+		t.Error("short leader slice accepted")
+	}
+
+	tree := base
+	tree.Strategy = TreeParent
+	if _, _, err := Exchange(g, congest.Config{}, tree, make([][]Token, 4), nil); err == nil {
+		t.Error("tree strategy without parents accepted")
+	}
+
+	bad := base
+	bad.ForwardRounds = 0
+	if _, _, err := Exchange(g, congest.Config{}, bad, make([][]Token, 4), nil); err == nil {
+		t.Error("zero budget accepted")
+	}
+
+	many := base
+	tokens := make([][]Token, 4)
+	tokens[0] = make([]Token, 1000)
+	if _, _, err := Exchange(g, congest.Config{}, many, tokens, nil); err == nil {
+		t.Error("token overflow accepted")
+	}
+}
+
+func TestWalkBudgetScaling(t *testing.T) {
+	if WalkBudget(0.1, 100) <= WalkBudget(0.5, 100) {
+		t.Error("budget should grow as phi shrinks")
+	}
+	if WalkBudget(0.2, 10000) <= WalkBudget(0.2, 10) {
+		t.Error("budget should grow with n")
+	}
+	if WalkBudget(0, 10) < 16 {
+		t.Error("degenerate phi should still give a positive budget")
+	}
+}
+
+func TestExchangeDeterminism(t *testing.T) {
+	g := graph.Grid(4, 4)
+	plan := wholeGraphPlan(g, 5, 300, RandomWalk)
+	run := func() *ExchangeResult {
+		res, _, err := Exchange(g, congest.Config{Seed: 77}, plan, oneTokenEach(g), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Delivered != b.Delivered || a.Undelivered != b.Undelivered {
+		t.Fatal("nondeterministic delivery")
+	}
+	for v := range a.Responses {
+		if len(a.Responses[v]) != len(b.Responses[v]) {
+			t.Fatalf("nondeterministic responses at %d", v)
+		}
+	}
+}
+
+func TestLeaderOwnTokensDeliveredLocally(t *testing.T) {
+	g := graph.Star(4)
+	plan := wholeGraphPlan(g, 0, 100, RandomWalk)
+	tokens := make([][]Token, g.N())
+	tokens[0] = []Token{{A: 42, B: 43}} // only the leader has a token
+	res, _, err := Exchange(g, congest.Config{Seed: 2}, plan, tokens,
+		func(leader int, tok Token) (int64, int64) { return tok.A * 2, tok.B * 2 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 1 || res.Undelivered != 0 {
+		t.Fatalf("delivered=%d undelivered=%d", res.Delivered, res.Undelivered)
+	}
+	if len(res.Responses[0]) != 1 || res.Responses[0][0].A != 84 {
+		t.Errorf("leader self-response = %v", res.Responses[0])
+	}
+}

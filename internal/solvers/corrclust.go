@@ -1,0 +1,262 @@
+package solvers
+
+import (
+	"math/rand"
+
+	"expandergap/internal/graph"
+)
+
+// CorrClustExactLimit bounds the exact correlation-clustering search.
+const CorrClustExactLimit = 13
+
+// CorrelationScore returns the agreement-maximization objective of §3.3 for
+// the clustering given as per-vertex labels: the number of intra-cluster
+// positive edges plus inter-cluster negative edges.
+func CorrelationScore(g *graph.Graph, labels []int) int64 {
+	var score int64
+	for i := 0; i < g.M(); i++ {
+		e := g.EdgeAt(i)
+		same := labels[e.U] == labels[e.V]
+		if (same && g.Sign(i) == 1) || (!same && g.Sign(i) == -1) {
+			score++
+		}
+	}
+	return score
+}
+
+// CorrelationClusteringExact returns an agreement-maximizing clustering of a
+// signed graph as per-vertex labels, by exhaustive search over set
+// partitions (restricted growth strings) with an admissible bound. Panics
+// for n > CorrClustExactLimit.
+func CorrelationClusteringExact(g *graph.Graph) []int {
+	n := g.N()
+	if n > CorrClustExactLimit {
+		panic("solvers: CorrelationClusteringExact limited to 13 vertices; use CorrelationClusteringLocalSearch")
+	}
+	if n == 0 {
+		return nil
+	}
+	// edgesAt[v]: edges from v to vertices with smaller index — scored when
+	// v is assigned.
+	type halfEdge struct {
+		to   int
+		sign int8
+	}
+	edgesAt := make([][]halfEdge, n)
+	totalEdges := make([]int, n+1) // suffix count of unscored edges
+	for i := 0; i < g.M(); i++ {
+		e := g.EdgeAt(i)
+		hi := e.V
+		lo := e.U
+		if hi < lo {
+			hi, lo = lo, hi
+		}
+		edgesAt[hi] = append(edgesAt[hi], halfEdge{to: lo, sign: g.Sign(i)})
+	}
+	for v := n - 1; v >= 0; v-- {
+		totalEdges[v] = totalEdges[v+1] + len(edgesAt[v])
+	}
+	labels := make([]int, n)
+	best := make([]int, n)
+	var bestScore int64 = -1
+	var cur int64
+	var rec func(v, maxLabel int)
+	rec = func(v, maxLabel int) {
+		if v == n {
+			if cur > bestScore {
+				bestScore = cur
+				copy(best, labels)
+			}
+			return
+		}
+		if cur+int64(totalEdges[v]) <= bestScore {
+			return // even scoring every remaining edge cannot win
+		}
+		for lab := 0; lab <= maxLabel+1 && lab <= v; lab++ {
+			labels[v] = lab
+			var gained int64
+			for _, he := range edgesAt[v] {
+				same := labels[he.to] == lab
+				if (same && he.sign == 1) || (!same && he.sign == -1) {
+					gained++
+				}
+			}
+			cur += gained
+			next := maxLabel
+			if lab > maxLabel {
+				next = lab
+			}
+			rec(v+1, next)
+			cur -= gained
+		}
+	}
+	rec(0, -1)
+	return best
+}
+
+// CorrelationClusteringLocalSearch improves a starting clustering by
+// repeated best single-vertex moves (to a neighboring cluster, a fresh
+// singleton, or staying) until a local optimum or maxPasses passes. The
+// starting point is the connected components of the positive subgraph, a
+// strong initializer for agreement maximization.
+func CorrelationClusteringLocalSearch(g *graph.Graph, maxPasses int) []int {
+	n := g.N()
+	labels := positiveComponents(g)
+	if n == 0 {
+		return labels
+	}
+	nextLabel := 0
+	for _, l := range labels {
+		if l >= nextLabel {
+			nextLabel = l + 1
+		}
+	}
+	for pass := 0; pass < maxPasses; pass++ {
+		improved := false
+		for v := 0; v < n; v++ {
+			bestLab := labels[v]
+			bestDelta := int64(0)
+			// Candidate labels: neighbors' labels and a fresh singleton.
+			cands := map[int]bool{nextLabel: true}
+			g.ForEachNeighbor(v, func(u, _ int) {
+				cands[labels[u]] = true
+			})
+			curScore := vertexScore(g, labels, v, labels[v])
+			for lab := range cands {
+				if lab == labels[v] {
+					continue
+				}
+				delta := vertexScore(g, labels, v, lab) - curScore
+				if delta > bestDelta {
+					bestDelta = delta
+					bestLab = lab
+				}
+			}
+			if bestLab != labels[v] {
+				labels[v] = bestLab
+				if bestLab == nextLabel {
+					nextLabel++
+				}
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return labels
+}
+
+// vertexScore returns v's contribution to the agreement objective when
+// assigned label lab (its incident edges only).
+func vertexScore(g *graph.Graph, labels []int, v, lab int) int64 {
+	var s int64
+	g.ForEachNeighbor(v, func(u, idx int) {
+		same := labels[u] == lab
+		if (same && g.Sign(idx) == 1) || (!same && g.Sign(idx) == -1) {
+			s++
+		}
+	})
+	return s
+}
+
+// positiveComponents labels vertices by connected components of the
+// positive-edge subgraph.
+func positiveComponents(g *graph.Graph) []int {
+	n := g.N()
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	next := 0
+	for s := 0; s < n; s++ {
+		if labels[s] != -1 {
+			continue
+		}
+		labels[s] = next
+		queue := []int{s}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			g.ForEachNeighbor(v, func(u, idx int) {
+				if g.Sign(idx) == 1 && labels[u] == -1 {
+					labels[u] = next
+					queue = append(queue, u)
+				}
+			})
+		}
+		next++
+	}
+	return labels
+}
+
+// CorrelationClusteringPivot is the classic randomized pivot baseline
+// (Ailon–Charikar–Newman style, restricted to graph edges): pick a random
+// unclustered pivot, cluster it with its positive unclustered neighbors,
+// repeat.
+func CorrelationClusteringPivot(g *graph.Graph, rng *rand.Rand) []int {
+	n := g.N()
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	order := rng.Perm(n)
+	next := 0
+	for _, p := range order {
+		if labels[p] != -1 {
+			continue
+		}
+		labels[p] = next
+		g.ForEachNeighbor(p, func(u, idx int) {
+			if g.Sign(idx) == 1 && labels[u] == -1 {
+				labels[u] = next
+			}
+		})
+		next++
+	}
+	return labels
+}
+
+// SingletonScore and OneClusterScore are the two trivial clusterings whose
+// better alternative achieves γ(G) ≥ |E|/2 on connected graphs (§3.3).
+func SingletonScore(g *graph.Graph) int64 {
+	labels := make([]int, g.N())
+	for i := range labels {
+		labels[i] = i
+	}
+	return CorrelationScore(g, labels)
+}
+
+// OneClusterScore scores the all-in-one clustering.
+func OneClusterScore(g *graph.Graph) int64 {
+	return CorrelationScore(g, make([]int, g.N()))
+}
+
+// BestCorrelationClustering picks the exact solution for small graphs and
+// the best of local search, pivot, singletons, and one-cluster otherwise.
+func BestCorrelationClustering(g *graph.Graph, rng *rand.Rand) []int {
+	if g.N() <= CorrClustExactLimit {
+		return CorrelationClusteringExact(g)
+	}
+	best := CorrelationClusteringLocalSearch(g, 20)
+	bestScore := CorrelationScore(g, best)
+	cands := [][]int{
+		CorrelationClusteringPivot(g, rng),
+		singletonLabels(g.N()),
+		make([]int, g.N()),
+	}
+	for _, c := range cands {
+		if s := CorrelationScore(g, c); s > bestScore {
+			best, bestScore = c, s
+		}
+	}
+	return best
+}
+
+func singletonLabels(n int) []int {
+	l := make([]int, n)
+	for i := range l {
+		l[i] = i
+	}
+	return l
+}

@@ -1,0 +1,308 @@
+package solvers
+
+import (
+	"expandergap/internal/graph"
+)
+
+// MaximumMatching returns a maximum cardinality matching of g as a mate
+// slice: mate[v] is v's partner, or -1. It implements Edmonds' blossom
+// algorithm (O(V³)): repeatedly grow alternating BFS forests, contracting
+// odd cycles (blossoms) at their base, until no augmenting path remains.
+func MaximumMatching(g *graph.Graph) []int {
+	n := g.N()
+	mate := make([]int, n)
+	for i := range mate {
+		mate[i] = -1
+	}
+	p := make([]int, n)    // BFS parent in the alternating tree
+	base := make([]int, n) // blossom base of each vertex
+	used := make([]bool, n)
+	blossom := make([]bool, n)
+
+	lca := func(a, b int) int {
+		usedPath := make(map[int]bool)
+		for {
+			a = base[a]
+			usedPath[a] = true
+			if mate[a] == -1 {
+				break
+			}
+			a = p[mate[a]]
+		}
+		for {
+			b = base[b]
+			if usedPath[b] {
+				return b
+			}
+			b = p[mate[b]]
+		}
+	}
+
+	var queue []int
+	markPath := func(v, b, child int) {
+		for base[v] != b {
+			blossom[base[v]] = true
+			blossom[base[mate[v]]] = true
+			p[v] = child
+			child = mate[v]
+			v = p[mate[v]]
+		}
+	}
+
+	findPath := func(root int) int {
+		for i := range used {
+			used[i] = false
+			p[i] = -1
+			base[i] = i
+		}
+		used[root] = true
+		queue = queue[:0]
+		queue = append(queue, root)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			nbrs := g.Neighbors(v)
+			for _, to := range nbrs {
+				if base[v] == base[to] || mate[v] == to {
+					continue
+				}
+				if to == root || (mate[to] != -1 && p[mate[to]] != -1) {
+					// Odd cycle: contract the blossom.
+					curBase := lca(v, to)
+					for i := range blossom {
+						blossom[i] = false
+					}
+					markPath(v, curBase, to)
+					markPath(to, curBase, v)
+					for i := 0; i < len(base); i++ {
+						if blossom[base[i]] {
+							base[i] = curBase
+							if !used[i] {
+								used[i] = true
+								queue = append(queue, i)
+							}
+						}
+					}
+				} else if p[to] == -1 {
+					p[to] = v
+					if mate[to] == -1 {
+						return to // augmenting path found
+					}
+					used[mate[to]] = true
+					queue = append(queue, mate[to])
+				}
+			}
+		}
+		return -1
+	}
+
+	for v := 0; v < n; v++ {
+		if mate[v] != -1 {
+			continue
+		}
+		end := findPath(v)
+		if end == -1 {
+			continue
+		}
+		// Augment along the path ending at end.
+		for end != -1 {
+			pv := p[end]
+			ppv := mate[pv]
+			mate[end] = pv
+			mate[pv] = end
+			end = ppv
+		}
+	}
+	return mate
+}
+
+// MatchingSize returns the number of matched pairs in a mate slice.
+func MatchingSize(mate []int) int {
+	c := 0
+	for v, m := range mate {
+		if m > v {
+			c++
+		}
+	}
+	return c
+}
+
+// MatchingWeight returns the total weight of the matching in g.
+func MatchingWeight(g *graph.Graph, mate []int) int64 {
+	var total int64
+	for v, m := range mate {
+		if m > v {
+			if idx, ok := g.EdgeIndex(v, m); ok {
+				total += g.Weight(idx)
+			}
+		}
+	}
+	return total
+}
+
+// IsMatching reports whether mate is a consistent matching of g.
+func IsMatching(g *graph.Graph, mate []int) bool {
+	if len(mate) != g.N() {
+		return false
+	}
+	for v, m := range mate {
+		if m == -1 {
+			continue
+		}
+		if m < 0 || m >= g.N() || mate[m] != v || m == v {
+			return false
+		}
+		if !g.HasEdge(v, m) {
+			return false
+		}
+	}
+	return true
+}
+
+// GreedyMatching returns the maximal matching obtained by scanning edges in
+// descending weight order (index order for unweighted graphs): the classic
+// ½-approximation for MCM and MWM.
+func GreedyMatching(g *graph.Graph) []int {
+	type we struct {
+		idx int
+		w   int64
+	}
+	order := make([]we, g.M())
+	for i := 0; i < g.M(); i++ {
+		order[i] = we{idx: i, w: g.Weight(i)}
+	}
+	// Stable sort by descending weight (insertion into buckets would be
+	// overkill; simple sort).
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && order[j-1].w < order[j].w; j-- {
+			order[j-1], order[j] = order[j], order[j-1]
+		}
+	}
+	mate := make([]int, g.N())
+	for i := range mate {
+		mate[i] = -1
+	}
+	for _, o := range order {
+		e := g.EdgeAt(o.idx)
+		if mate[e.U] == -1 && mate[e.V] == -1 {
+			mate[e.U] = e.V
+			mate[e.V] = e.U
+		}
+	}
+	return mate
+}
+
+// MWMExactLimit bounds the exact maximum-weight-matching search (edges).
+const MWMExactLimit = 64
+
+// MaximumWeightMatching returns an exact maximum weight matching by branch
+// and bound over edges in descending weight order, with the admissible bound
+// "current weight + sum of remaining candidate edge weights that could still
+// fit". Intended for cluster-sized graphs (≤ MWMExactLimit edges); panics
+// above the limit.
+func MaximumWeightMatching(g *graph.Graph) []int {
+	if g.M() > MWMExactLimit {
+		panic("solvers: MaximumWeightMatching limited to 64 edges; use ScalingMWM")
+	}
+	n := g.N()
+	type we struct {
+		idx int
+		w   int64
+	}
+	order := make([]we, g.M())
+	for i := range order {
+		order[i] = we{idx: i, w: g.Weight(i)}
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && order[j-1].w < order[j].w; j-- {
+			order[j-1], order[j] = order[j], order[j-1]
+		}
+	}
+	suffix := make([]int64, len(order)+1)
+	for i := len(order) - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1] + order[i].w
+	}
+	mate := make([]int, n)
+	best := make([]int, n)
+	for i := range mate {
+		mate[i] = -1
+		best[i] = -1
+	}
+	var bestW int64 = -1
+	var cur int64
+	var rec func(i int)
+	rec = func(i int) {
+		if cur > bestW {
+			bestW = cur
+			copy(best, mate)
+		}
+		if i >= len(order) || cur+suffix[i] <= bestW {
+			return
+		}
+		e := g.EdgeAt(order[i].idx)
+		if mate[e.U] == -1 && mate[e.V] == -1 {
+			mate[e.U], mate[e.V] = e.V, e.U
+			cur += order[i].w
+			rec(i + 1)
+			cur -= order[i].w
+			mate[e.U], mate[e.V] = -1, -1
+		}
+		rec(i + 1)
+	}
+	rec(0)
+	return best
+}
+
+// ScalingMWM computes a (1-ε)-approximate maximum weight matching with the
+// weight-bucketing technique at the heart of scaling algorithms such as
+// Duan–Pettie: round each weight down to the nearest power of (1+ε), then
+// run exact maximum-cardinality-style augmentation greedily from the heaviest
+// bucket downward (greedy per bucket, blossom-free). The result is a
+// maximal matching whose weight is at least (1-ε)/2 · OPT in general, and in
+// practice much closer; the framework uses it only as the large-cluster
+// fallback (small clusters get the exact solver).
+func ScalingMWM(g *graph.Graph, eps float64) []int {
+	if eps <= 0 {
+		eps = 0.1
+	}
+	n := g.N()
+	mate := make([]int, n)
+	for i := range mate {
+		mate[i] = -1
+	}
+	if g.M() == 0 {
+		return mate
+	}
+	// Bucket edges by floor(log_{1+eps} w).
+	type bucketEdge struct {
+		idx    int
+		bucket int
+	}
+	edges := make([]bucketEdge, g.M())
+	maxBucket := 0
+	for i := 0; i < g.M(); i++ {
+		b := 0
+		w := float64(g.Weight(i))
+		scale := 1.0
+		for scale*(1+eps) <= w {
+			scale *= 1 + eps
+			b++
+		}
+		edges[i] = bucketEdge{idx: i, bucket: b}
+		if b > maxBucket {
+			maxBucket = b
+		}
+	}
+	for b := maxBucket; b >= 0; b-- {
+		for _, be := range edges {
+			if be.bucket != b {
+				continue
+			}
+			e := g.EdgeAt(be.idx)
+			if mate[e.U] == -1 && mate[e.V] == -1 {
+				mate[e.U], mate[e.V] = e.V, e.U
+			}
+		}
+	}
+	return mate
+}

@@ -1,0 +1,225 @@
+// Package solvers provides the sequential algorithms cluster leaders run on
+// gathered topologies (the "solve locally" step of Theorem 2.6), plus the
+// sequential baselines and subroutines the applications need: exact maximum
+// independent set, exact maximum cardinality matching (Edmonds' blossom
+// algorithm), exact maximum weight matching (branch and bound), exact and
+// local-search correlation clustering, and the sequential low-diameter
+// decomposition used by Theorem 1.5.
+//
+// Exact solvers are exponential in the worst case but run on cluster-sized
+// inputs; each has a documented practical size limit and a greedy fallback.
+package solvers
+
+import (
+	"math/bits"
+
+	"expandergap/internal/graph"
+)
+
+// MaxISExactLimit is the largest vertex count MaximumIndependentSet accepts.
+const MaxISExactLimit = 64
+
+// MaximumIndependentSet returns a maximum independent set of g, exactly,
+// using branch and bound on the highest-degree vertex with component
+// splitting. Intended for cluster-sized graphs (n ≤ MaxISExactLimit; sparse
+// instances far larger run fine). Panics above the limit.
+func MaximumIndependentSet(g *graph.Graph) []int {
+	if g.N() > MaxISExactLimit {
+		panic("solvers: MaximumIndependentSet limited to 64 vertices; use GreedyIndependentSet")
+	}
+	if g.N() == 0 {
+		return nil
+	}
+	adj := make([]uint64, g.N())
+	for _, e := range g.Edges() {
+		adj[e.U] |= 1 << uint(e.V)
+		adj[e.V] |= 1 << uint(e.U)
+	}
+	full := uint64(1)<<uint(g.N()) - 1
+	memo := make(map[uint64]uint64)
+	best := misRec(adj, full, memo)
+	var out []int
+	for v := 0; v < g.N(); v++ {
+		if best&(1<<uint(v)) != 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// misRec returns a maximum independent set of the subgraph induced by mask,
+// as a bitmask.
+func misRec(adj []uint64, mask uint64, memo map[uint64]uint64) uint64 {
+	if mask == 0 {
+		return 0
+	}
+	if s, ok := memo[mask]; ok {
+		return s
+	}
+	// Find a vertex in mask; prefer max degree within mask, and shortcut
+	// degree-0 and degree-1 vertices (always take them).
+	var pick, maxDeg = -1, -1
+	m := mask
+	for m != 0 {
+		v := bits.TrailingZeros64(m)
+		m &= m - 1
+		d := bits.OnesCount64(adj[v] & mask)
+		if d == 0 {
+			// Isolated in the remainder: always in the solution.
+			rest := misRec(adj, mask&^(1<<uint(v)), memo)
+			res := rest | 1<<uint(v)
+			memo[mask] = res
+			return res
+		}
+		if d > maxDeg {
+			maxDeg, pick = d, v
+		}
+	}
+	v := uint(pick)
+	if maxDeg == 1 {
+		// Take v's single neighbor... taking v itself is always optimal for
+		// a degree-1 vertex.
+		nb := adj[pick] & mask
+		rest := misRec(adj, mask&^(1<<v)&^nb, memo)
+		res := rest | 1<<v
+		memo[mask] = res
+		return res
+	}
+	// Branch: exclude v / include v.
+	without := misRec(adj, mask&^(1<<v), memo)
+	with := misRec(adj, mask&^(1<<v)&^(adj[pick]&mask), memo) | 1<<v
+	res := without
+	if bits.OnesCount64(with) > bits.OnesCount64(without) {
+		res = with
+	}
+	memo[mask] = res
+	return res
+}
+
+// GreedyIndependentSet returns the minimum-degree greedy independent set:
+// repeatedly take a minimum-degree vertex and delete its closed
+// neighborhood. For a graph of edge density d this guarantees at least
+// n/(2d+1) vertices — the bound §3.1 of the paper uses to show
+// α(G) = Θ(n) on H-minor-free graphs.
+func GreedyIndependentSet(g *graph.Graph) []int {
+	n := g.N()
+	alive := make([]bool, n)
+	deg := make([]int, n)
+	for v := 0; v < n; v++ {
+		alive[v] = true
+		deg[v] = g.Degree(v)
+	}
+	remaining := n
+	var out []int
+	for remaining > 0 {
+		// Min-degree alive vertex.
+		pick, pickDeg := -1, 1<<30
+		for v := 0; v < n; v++ {
+			if alive[v] && deg[v] < pickDeg {
+				pick, pickDeg = v, deg[v]
+			}
+		}
+		out = append(out, pick)
+		kill := []int{pick}
+		g.ForEachNeighbor(pick, func(u, _ int) {
+			if alive[u] {
+				kill = append(kill, u)
+			}
+		})
+		for _, v := range kill {
+			alive[v] = false
+			remaining--
+			g.ForEachNeighbor(v, func(u, _ int) {
+				if alive[u] {
+					deg[u]--
+				}
+			})
+		}
+	}
+	return out
+}
+
+// IsIndependentSet reports whether set is independent in g.
+func IsIndependentSet(g *graph.Graph, set []int) bool {
+	in := make(map[int]bool, len(set))
+	for _, v := range set {
+		if in[v] {
+			return false
+		}
+		in[v] = true
+	}
+	for _, e := range g.Edges() {
+		if in[e.U] && in[e.V] {
+			return false
+		}
+	}
+	return true
+}
+
+// WeightedMaxISLimit bounds the exact weighted independent-set search.
+const WeightedMaxISLimit = 64
+
+// MaximumWeightIndependentSet returns a maximum-weight independent set for
+// vertex weights w (all non-negative), exactly, by the same branch and
+// bound. Used by the weighted MaxIS extension of §3.1.
+func MaximumWeightIndependentSet(g *graph.Graph, w []int64) []int {
+	if g.N() > WeightedMaxISLimit {
+		panic("solvers: MaximumWeightIndependentSet limited to 64 vertices")
+	}
+	if g.N() == 0 {
+		return nil
+	}
+	adj := make([]uint64, g.N())
+	for _, e := range g.Edges() {
+		adj[e.U] |= 1 << uint(e.V)
+		adj[e.V] |= 1 << uint(e.U)
+	}
+	full := uint64(1)<<uint(g.N()) - 1
+	memo := make(map[uint64]uint64)
+	best := wmisRec(adj, w, full, memo)
+	var out []int
+	for v := 0; v < g.N(); v++ {
+		if best&(1<<uint(v)) != 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func setWeight(w []int64, set uint64) int64 {
+	var total int64
+	for set != 0 {
+		v := bits.TrailingZeros64(set)
+		set &= set - 1
+		total += w[v]
+	}
+	return total
+}
+
+func wmisRec(adj []uint64, w []int64, mask uint64, memo map[uint64]uint64) uint64 {
+	if mask == 0 {
+		return 0
+	}
+	if s, ok := memo[mask]; ok {
+		return s
+	}
+	pick, maxDeg := -1, -1
+	m := mask
+	for m != 0 {
+		v := bits.TrailingZeros64(m)
+		m &= m - 1
+		d := bits.OnesCount64(adj[v] & mask)
+		if d > maxDeg {
+			maxDeg, pick = d, v
+		}
+	}
+	v := uint(pick)
+	without := wmisRec(adj, w, mask&^(1<<v), memo)
+	with := wmisRec(adj, w, mask&^(1<<v)&^(adj[pick]&mask), memo) | 1<<v
+	res := without
+	if setWeight(w, with) > setWeight(w, without) {
+		res = with
+	}
+	memo[mask] = res
+	return res
+}

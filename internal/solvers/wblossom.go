@@ -1,0 +1,440 @@
+package solvers
+
+import (
+	"fmt"
+
+	"expandergap/internal/graph"
+)
+
+// WeightedBlossomLimit bounds the O(n³) weighted blossom solver (memory is
+// Θ(n²); the framework's clusters stay far below this).
+const WeightedBlossomLimit = 256
+
+// WeightedBlossom computes an exact maximum weight matching of g using the
+// classic O(n³) primal-dual blossom algorithm with lazy dual adjustment
+// (Galil's formulation, in the compact form widely used in practice).
+// Weights are doubled internally so all dual values stay integral. The
+// matching maximizes total weight and need not be perfect or maximum in
+// cardinality. Panics when g has more than WeightedBlossomLimit vertices.
+func WeightedBlossom(g *graph.Graph) []int {
+	if g.N() > WeightedBlossomLimit {
+		panic(fmt.Sprintf("solvers: WeightedBlossom limited to %d vertices", WeightedBlossomLimit))
+	}
+	n := g.N()
+	if n == 0 {
+		return nil
+	}
+	w := newWB(n)
+	for i := 0; i < g.M(); i++ {
+		e := g.EdgeAt(i)
+		w.setEdge(e.U+1, e.V+1, g.Weight(i))
+	}
+	w.solve()
+	mate := make([]int, n)
+	for v := 1; v <= n; v++ {
+		mate[v-1] = w.match[v] - 1
+	}
+	return mate
+}
+
+const wbInf = int64(1) << 62
+
+type wbEdge struct {
+	u, v int
+	w    int64
+}
+
+// wb is the solver state. Vertices are 1..n; blossom nodes are n+1..nx.
+type wb struct {
+	n, nx      int
+	g          [][]wbEdge
+	lab        []int64
+	match      []int
+	slack      []int
+	st         []int
+	pa         []int
+	flowerFrom [][]int
+	s          []int
+	vis        []int
+	flower     [][]int
+	q          []int
+	visToken   int
+}
+
+func newWB(n int) *wb {
+	size := 2*n + 1
+	w := &wb{n: n}
+	w.g = make([][]wbEdge, size)
+	for u := 0; u < size; u++ {
+		w.g[u] = make([]wbEdge, size)
+		for v := 0; v < size; v++ {
+			w.g[u][v] = wbEdge{u: u, v: v}
+		}
+	}
+	w.lab = make([]int64, size)
+	w.match = make([]int, size)
+	w.slack = make([]int, size)
+	w.st = make([]int, size)
+	w.pa = make([]int, size)
+	w.s = make([]int, size)
+	w.vis = make([]int, size)
+	w.flower = make([][]int, size)
+	w.flowerFrom = make([][]int, size)
+	for u := 0; u < size; u++ {
+		w.flowerFrom[u] = make([]int, n+1)
+	}
+	return w
+}
+
+func (w *wb) setEdge(u, v int, weight int64) {
+	// Doubled weights keep every dual delta integral.
+	w.g[u][v].w = weight * 2
+	w.g[v][u].w = weight * 2
+}
+
+func (w *wb) eDelta(e wbEdge) int64 {
+	return w.lab[e.u] + w.lab[e.v] - w.g[e.u][e.v].w
+}
+
+func (w *wb) updateSlack(u, x int) {
+	if w.slack[x] == 0 || w.eDelta(w.g[u][x]) < w.eDelta(w.g[w.slack[x]][x]) {
+		w.slack[x] = u
+	}
+}
+
+func (w *wb) setSlack(x int) {
+	w.slack[x] = 0
+	for u := 1; u <= w.n; u++ {
+		if w.g[u][x].w > 0 && w.st[u] != x && w.s[w.st[u]] == 0 {
+			w.updateSlack(u, x)
+		}
+	}
+}
+
+func (w *wb) qPush(x int) {
+	if x <= w.n {
+		w.q = append(w.q, x)
+		return
+	}
+	for _, p := range w.flower[x] {
+		w.qPush(p)
+	}
+}
+
+func (w *wb) setSt(x, b int) {
+	w.st[x] = b
+	if x > w.n {
+		for _, p := range w.flower[x] {
+			w.setSt(p, b)
+		}
+	}
+}
+
+// getPr finds xr's position inside blossom b's cycle, reversing the cycle
+// orientation when the position is odd so the alternating structure is
+// preserved.
+func (w *wb) getPr(b, xr int) int {
+	pr := 0
+	for i, x := range w.flower[b] {
+		if x == xr {
+			pr = i
+			break
+		}
+	}
+	if pr%2 == 1 {
+		rev := w.flower[b][1:]
+		for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+			rev[i], rev[j] = rev[j], rev[i]
+		}
+		return len(w.flower[b]) - pr
+	}
+	return pr
+}
+
+func (w *wb) setMatch(u, v int) {
+	w.match[u] = w.g[u][v].v
+	if u <= w.n {
+		return
+	}
+	e := w.g[u][v]
+	xr := w.flowerFrom[u][e.u]
+	pr := w.getPr(u, xr)
+	for i := 0; i < pr; i++ {
+		w.setMatch(w.flower[u][i], w.flower[u][i^1])
+	}
+	w.setMatch(xr, v)
+	// rotate flower[u] left by pr
+	f := w.flower[u]
+	rotated := append(append([]int(nil), f[pr:]...), f[:pr]...)
+	w.flower[u] = rotated
+}
+
+func (w *wb) augment(u, v int) {
+	for {
+		xnv := w.st[w.match[u]]
+		w.setMatch(u, v)
+		if xnv == 0 {
+			return
+		}
+		w.setMatch(xnv, w.st[w.pa[xnv]])
+		u = w.st[w.pa[xnv]]
+		v = xnv
+	}
+}
+
+func (w *wb) getLCA(u, v int) int {
+	w.visToken++
+	t := w.visToken
+	for u != 0 || v != 0 {
+		if u != 0 {
+			if w.vis[u] == t {
+				return u
+			}
+			w.vis[u] = t
+			u = w.st[w.match[u]]
+			if u != 0 {
+				u = w.st[w.pa[u]]
+			}
+		}
+		u, v = v, u
+	}
+	return 0
+}
+
+func (w *wb) addBlossom(u, lca, v int) {
+	b := w.n + 1
+	for b <= w.nx && w.st[b] != 0 {
+		b++
+	}
+	if b > w.nx {
+		w.nx++
+	}
+	w.lab[b] = 0
+	w.s[b] = 0
+	w.match[b] = w.match[lca]
+	w.flower[b] = w.flower[b][:0]
+	w.flower[b] = append(w.flower[b], lca)
+	for x := u; x != lca; {
+		w.flower[b] = append(w.flower[b], x)
+		y := w.st[w.match[x]]
+		w.flower[b] = append(w.flower[b], y)
+		w.qPush(y)
+		x = w.st[w.pa[y]]
+	}
+	// reverse flower[b][1:]
+	rev := w.flower[b][1:]
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	for x := v; x != lca; {
+		w.flower[b] = append(w.flower[b], x)
+		y := w.st[w.match[x]]
+		w.flower[b] = append(w.flower[b], y)
+		w.qPush(y)
+		x = w.st[w.pa[y]]
+	}
+	w.setSt(b, b)
+	for x := 1; x <= w.nx; x++ {
+		w.g[b][x].w = 0
+		w.g[x][b].w = 0
+	}
+	for x := 1; x <= w.n; x++ {
+		w.flowerFrom[b][x] = 0
+	}
+	for _, xs := range w.flower[b] {
+		for x := 1; x <= w.nx; x++ {
+			if w.g[b][x].w == 0 || w.eDelta(w.g[xs][x]) < w.eDelta(w.g[b][x]) {
+				w.g[b][x] = w.g[xs][x]
+				w.g[x][b] = w.g[x][xs]
+			}
+		}
+		for x := 1; x <= w.n; x++ {
+			if w.flowerFrom[xs][x] != 0 {
+				w.flowerFrom[b][x] = xs
+			}
+		}
+	}
+	w.setSlack(b)
+}
+
+func (w *wb) expandBlossom(b int) {
+	for _, p := range w.flower[b] {
+		w.setSt(p, p)
+	}
+	xr := w.flowerFrom[b][w.g[b][w.pa[b]].u]
+	pr := w.getPr(b, xr)
+	for i := 0; i < pr; i += 2 {
+		xs := w.flower[b][i]
+		xns := w.flower[b][i+1]
+		w.pa[xs] = w.g[xns][xs].u
+		w.s[xs] = 1
+		w.s[xns] = 0
+		w.slack[xs] = 0
+		w.setSlack(xns)
+		w.qPush(xns)
+	}
+	w.s[xr] = 1
+	w.pa[xr] = w.pa[b]
+	for i := pr + 1; i < len(w.flower[b]); i++ {
+		xs := w.flower[b][i]
+		w.s[xs] = -1
+		w.setSlack(xs)
+	}
+	w.st[b] = 0
+}
+
+func (w *wb) onFoundEdge(e wbEdge) bool {
+	u := w.st[e.u]
+	v := w.st[e.v]
+	switch w.s[v] {
+	case -1:
+		w.pa[v] = e.u
+		w.s[v] = 1
+		nu := w.st[w.match[v]]
+		w.slack[v] = 0
+		w.slack[nu] = 0
+		w.s[nu] = 0
+		w.qPush(nu)
+	case 0:
+		lca := w.getLCA(u, v)
+		if lca == 0 {
+			w.augment(u, v)
+			w.augment(v, u)
+			return true
+		}
+		w.addBlossom(u, lca, v)
+	}
+	return false
+}
+
+func (w *wb) matching() bool {
+	for x := 1; x <= w.nx; x++ {
+		w.s[x] = -1
+		w.slack[x] = 0
+	}
+	w.q = w.q[:0]
+	for x := 1; x <= w.nx; x++ {
+		if w.st[x] == x && w.match[x] == 0 {
+			w.pa[x] = 0
+			w.s[x] = 0
+			w.qPush(x)
+		}
+	}
+	if len(w.q) == 0 {
+		return false
+	}
+	for {
+		for len(w.q) > 0 {
+			u := w.q[0]
+			w.q = w.q[1:]
+			if w.s[w.st[u]] == 1 {
+				continue
+			}
+			for v := 1; v <= w.n; v++ {
+				if w.g[u][v].w > 0 && w.st[u] != w.st[v] {
+					if w.eDelta(w.g[u][v]) == 0 {
+						if w.onFoundEdge(w.g[u][v]) {
+							return true
+						}
+					} else {
+						w.updateSlack(u, w.st[v])
+					}
+				}
+			}
+		}
+		d := wbInf
+		for b := w.n + 1; b <= w.nx; b++ {
+			if w.st[b] == b && w.s[b] == 1 {
+				if w.lab[b]/2 < d {
+					d = w.lab[b] / 2
+				}
+			}
+		}
+		for x := 1; x <= w.nx; x++ {
+			if w.st[x] == x && w.slack[x] != 0 {
+				switch w.s[x] {
+				case -1:
+					if dd := w.eDelta(w.g[w.slack[x]][x]); dd < d {
+						d = dd
+					}
+				case 0:
+					if dd := w.eDelta(w.g[w.slack[x]][x]) / 2; dd < d {
+						d = dd
+					}
+				}
+			}
+		}
+		for u := 1; u <= w.n; u++ {
+			switch w.s[w.st[u]] {
+			case 0:
+				if w.lab[u] <= d {
+					return false // dual hit zero: no augmenting path left
+				}
+				w.lab[u] -= d
+			case 1:
+				w.lab[u] += d
+			}
+		}
+		for b := w.n + 1; b <= w.nx; b++ {
+			if w.st[b] == b {
+				switch w.s[b] {
+				case 0:
+					w.lab[b] += d * 2
+				case 1:
+					w.lab[b] -= d * 2
+				}
+			}
+		}
+		w.q = w.q[:0]
+		for x := 1; x <= w.nx; x++ {
+			if w.st[x] == x && w.slack[x] != 0 && w.st[w.slack[x]] != x &&
+				w.eDelta(w.g[w.slack[x]][x]) == 0 {
+				if w.onFoundEdge(w.g[w.slack[x]][x]) {
+					return true
+				}
+			}
+		}
+		for b := w.n + 1; b <= w.nx; b++ {
+			if w.st[b] == b && w.s[b] == 1 && w.lab[b] == 0 {
+				w.expandBlossom(b)
+			}
+		}
+	}
+}
+
+func (w *wb) solve() {
+	w.nx = w.n
+	for u := 0; u <= w.n; u++ {
+		w.st[u] = u
+		w.flower[u] = w.flower[u][:0]
+	}
+	var wMax int64
+	for u := 1; u <= w.n; u++ {
+		for v := 1; v <= w.n; v++ {
+			if u == v {
+				w.flowerFrom[u][v] = u
+			} else {
+				w.flowerFrom[u][v] = 0
+			}
+			if w.g[u][v].w > wMax {
+				wMax = w.g[u][v].w
+			}
+		}
+	}
+	for u := 1; u <= w.n; u++ {
+		w.lab[u] = wMax / 2 // weights are doubled, so this is max weight
+	}
+	for w.matching() {
+	}
+}
+
+// ExactMWM dispatches to the best exact maximum-weight-matching solver for
+// the instance: branch and bound for tiny edge counts (fast, allocation
+// free), weighted blossom up to WeightedBlossomLimit vertices, and panics
+// beyond (callers fall back to ScalingMWM).
+func ExactMWM(g *graph.Graph) []int {
+	if g.M() <= MWMExactLimit {
+		return MaximumWeightMatching(g)
+	}
+	return WeightedBlossom(g)
+}

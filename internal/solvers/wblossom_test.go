@@ -1,0 +1,157 @@
+package solvers
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"expandergap/internal/graph"
+)
+
+func TestWeightedBlossomKnown(t *testing.T) {
+	// Path 1-10-1: middle edge only.
+	b := graph.NewBuilder(4)
+	b.AddWeightedEdge(0, 1, 1)
+	b.AddWeightedEdge(1, 2, 10)
+	b.AddWeightedEdge(2, 3, 1)
+	g := b.Graph()
+	mate := WeightedBlossom(g)
+	if !IsMatching(g, mate) {
+		t.Fatal("not a matching")
+	}
+	if w := MatchingWeight(g, mate); w != 10 {
+		t.Errorf("weight = %d, want 10", w)
+	}
+
+	// Square 5-3-5-3: opposite 5s win (10 > 5+3).
+	b2 := graph.NewBuilder(4)
+	b2.AddWeightedEdge(0, 1, 5)
+	b2.AddWeightedEdge(1, 2, 3)
+	b2.AddWeightedEdge(2, 3, 5)
+	b2.AddWeightedEdge(3, 0, 3)
+	g2 := b2.Graph()
+	if w := MatchingWeight(g2, WeightedBlossom(g2)); w != 10 {
+		t.Errorf("square weight = %d, want 10", w)
+	}
+
+	// Odd cycle with one heavy edge: blossom handling.
+	b3 := graph.NewBuilder(5)
+	b3.AddWeightedEdge(0, 1, 9)
+	b3.AddWeightedEdge(1, 2, 8)
+	b3.AddWeightedEdge(2, 3, 7)
+	b3.AddWeightedEdge(3, 4, 8)
+	b3.AddWeightedEdge(4, 0, 1)
+	g3 := b3.Graph()
+	// Best: {0-1, 3-4} = 17.
+	if w := MatchingWeight(g3, WeightedBlossom(g3)); w != 17 {
+		t.Errorf("C5 weight = %d, want 17", w)
+	}
+}
+
+func TestWeightedBlossomUnitWeightsEqualsBlossom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		g := graph.ErdosRenyi(12, 0.3, rng)
+		mcm := MatchingSize(MaximumMatching(g))
+		wmate := WeightedBlossom(g)
+		if !IsMatching(g, wmate) {
+			t.Fatal("invalid matching")
+		}
+		if MatchingSize(wmate) != mcm {
+			t.Errorf("trial %d: unit-weight blossom size %d != MCM %d",
+				trial, MatchingSize(wmate), mcm)
+		}
+	}
+}
+
+// The load-bearing test: cross-validate against the exact branch-and-bound
+// on hundreds of random weighted graphs (dense and sparse, small weights to
+// force ties and blossoms).
+func TestQuickWeightedBlossomVsBranchAndBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(8)
+		p := 0.25 + rng.Float64()*0.5
+		base := graph.ErdosRenyi(n, p, rng)
+		if base.M() == 0 || base.M() > MWMExactLimit {
+			return true
+		}
+		maxW := int64(1 + rng.Intn(12)) // small weights force ties
+		g := graph.WithRandomWeights(base, maxW, rng)
+		want := MatchingWeight(g, MaximumWeightMatching(g))
+		mate := WeightedBlossom(g)
+		if !IsMatching(g, mate) {
+			return false
+		}
+		return MatchingWeight(g, mate) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightedBlossomMediumPlanar(t *testing.T) {
+	// Beyond the B&B edge limit: verify against greedy lower bound and
+	// fractional-relaxation-free sanity (weight at least greedy, at most
+	// sum of top n/2 edge weights).
+	rng := rand.New(rand.NewSource(7))
+	g := graph.WithRandomWeights(graph.RandomMaximalPlanar(60, rng), 100, rng)
+	mate := WeightedBlossom(g)
+	if !IsMatching(g, mate) {
+		t.Fatal("invalid matching")
+	}
+	got := MatchingWeight(g, mate)
+	greedy := MatchingWeight(g, GreedyMatching(g))
+	if got < greedy {
+		t.Errorf("blossom %d below greedy %d", got, greedy)
+	}
+}
+
+func TestWeightedBlossomEmptyAndLimits(t *testing.T) {
+	if mate := WeightedBlossom(graph.NewBuilder(0).Graph()); mate != nil {
+		t.Error("empty graph should give nil")
+	}
+	mate := WeightedBlossom(graph.NewBuilder(3).Graph())
+	for _, m := range mate {
+		if m != -1 {
+			t.Error("edgeless graph should be unmatched")
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic above limit")
+		}
+	}()
+	WeightedBlossom(graph.Path(WeightedBlossomLimit + 1))
+}
+
+func TestScalingMWMAgainstBlossomOptimum(t *testing.T) {
+	// Validate the scaling approximation's quality against the true optimum
+	// on medium planar instances (which the blossom solver now provides).
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 5; trial++ {
+		g := graph.WithRandomWeights(graph.RandomMaximalPlanar(50, rng), 200, rng)
+		opt := MatchingWeight(g, WeightedBlossom(g))
+		scaled := MatchingWeight(g, ScalingMWM(g, 0.1))
+		if 2*scaled < opt {
+			t.Errorf("trial %d: scaling %d below OPT/2 (%d)", trial, scaled, opt)
+		}
+	}
+}
+
+func TestExactMWMDispatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	small := graph.WithRandomWeights(graph.Cycle(6), 10, rng)
+	mate := ExactMWM(small)
+	if !IsMatching(small, mate) {
+		t.Fatal("dispatch small failed")
+	}
+	big := graph.WithRandomWeights(graph.RandomMaximalPlanar(40, rng), 10, rng)
+	if big.M() <= MWMExactLimit {
+		t.Fatalf("test instance too small: %d edges", big.M())
+	}
+	mate2 := ExactMWM(big)
+	if !IsMatching(big, mate2) {
+		t.Fatal("dispatch big failed")
+	}
+}
