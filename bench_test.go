@@ -12,11 +12,13 @@ package expandergap_test
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"expandergap/internal/apps/maxis"
 	"expandergap/internal/conductance"
 	"expandergap/internal/congest"
+	"expandergap/internal/core"
 	"expandergap/internal/expander"
 	"expandergap/internal/experiments"
 	"expandergap/internal/graph"
@@ -57,6 +59,74 @@ func BenchmarkE13MixingTime(b *testing.B)        { benchExperiment(b, "E13") }
 func BenchmarkE14HypercubeTight(b *testing.B)    { benchExperiment(b, "E14") }
 func BenchmarkE15RoundScaling(b *testing.B)      { benchExperiment(b, "E15") }
 func BenchmarkE16Decomposers(b *testing.B)       { benchExperiment(b, "E16") }
+
+// --- parallel-executor benchmarks ---
+//
+// The Seq/Par pairs below run the same workload with Workers=0 (canonical
+// sequential loop) and Workers=GOMAXPROCS (sharded executor). Outputs and
+// metrics are bit-for-bit identical (see internal/congest equivalence
+// tests); only wall-clock may differ. The pairs cover the two hot paths the
+// experiment suite funnels through: the E15 framework pipeline at its
+// largest Full-scale size (n=144) and E4-style whole-graph walk routing at
+// the E4 Full-scale size (n=256).
+
+func benchFrameworkGridWorkers(b *testing.B, side, workers int) {
+	b.Helper()
+	g := graph.Grid(side, side)
+	for i := 0; i < b.N; i++ {
+		sol, err := core.Run(g, core.Options{
+			Eps: 0.3,
+			Cfg: congest.Config{Seed: 2022, Workers: workers},
+		}, func(cluster *graph.Graph, toOld []int) map[int]int64 {
+			out := make(map[int]int64)
+			for _, v := range toOld {
+				out[v] = 1
+			}
+			return out
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sol.Metrics.Rounds == 0 {
+			b.Fatal("no rounds executed")
+		}
+	}
+}
+
+func BenchmarkE15RoundScalingLargestSeq(b *testing.B) { benchFrameworkGridWorkers(b, 12, 0) }
+func BenchmarkE15RoundScalingLargestPar(b *testing.B) {
+	benchFrameworkGridWorkers(b, 12, runtime.GOMAXPROCS(0))
+}
+
+func benchWalkRoutingWorkers(b *testing.B, side, workers int) {
+	b.Helper()
+	g := graph.Grid(side, side)
+	leader := make([]int, g.N())
+	tokens := make([][]routing.Token, g.N())
+	for v := range tokens {
+		tokens[v] = []routing.Token{{A: int64(v)}}
+	}
+	plan := routing.Plan{
+		Cluster:       primitives.Uniform(g.N()),
+		Leader:        leader,
+		ForwardRounds: 8*g.M()*g.Diameter() + 64,
+		Strategy:      routing.RandomWalk,
+	}
+	for i := 0; i < b.N; i++ {
+		res, _, err := routing.Exchange(g, congest.Config{Seed: int64(i), Workers: workers}, plan, tokens, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Undelivered > 0 {
+			b.Fatalf("undelivered: %d", res.Undelivered)
+		}
+	}
+}
+
+func BenchmarkE4WalkRoutingLargestSeq(b *testing.B) { benchWalkRoutingWorkers(b, 16, 0) }
+func BenchmarkE4WalkRoutingLargestPar(b *testing.B) {
+	benchWalkRoutingWorkers(b, 16, runtime.GOMAXPROCS(0))
+}
 
 // --- substrate micro-benchmarks ---
 

@@ -16,7 +16,25 @@
 // error, not a runtime condition.
 //
 // Execution is deterministic given Config.Seed: every vertex receives its own
-// seeded PRNG stream, and vertices are always processed in ID order.
+// seeded PRNG stream, each inbox lists arrivals in ascending sender-ID order,
+// and fault-injection coins are pure hashes of (seed, round, sender,
+// receiver). Because handler randomness is per-vertex and inbox order is
+// canonical, the execution order of vertices within a round cannot be
+// observed by a (well-formed) handler — which is what makes the parallel
+// executor below exact.
+//
+// Setting Config.Workers > 0 shards each round's delivery and compute phases
+// across a pool of worker goroutines (vertices partitioned into contiguous
+// ID ranges) with per-vertex metric shards merged at the round barrier. The
+// parallel executor is bit-for-bit equivalent to the sequential path for a
+// fixed seed. The one extra requirement it places on handlers: handlers of
+// different vertices must not share mutable state (per-vertex state, as the
+// model prescribes, is always safe; the test-only pattern of closing over a
+// shared counter is not).
+//
+// A run ends when every vertex has halted and every queued message has been
+// delivered: sends queued in a vertex's final round still cost (and are
+// accounted as) one delivery round, per the documented Halt contract.
 package congest
 
 import (
@@ -70,8 +88,17 @@ type Config struct {
 	// this knob exists to exercise the paper's §2.3 failure-detection paths
 	// (lost routing tokens must surface as detectable delivery failures,
 	// never as wrong answers). Dropped messages still count in Metrics
-	// (they were sent).
+	// (they were sent). Each drop coin is a pure hash of (Seed, round,
+	// sender, receiver), so whether one message drops never depends on what
+	// other messages exist — fault patterns are stable under refactors and
+	// under the parallel executor.
 	FaultRate float64
+	// Workers selects the executor. 0 (the default) runs the canonical
+	// sequential loop; k ≥ 1 shards each round's delivery and compute
+	// phases across k worker goroutines. Results (outputs and metrics) are
+	// bit-for-bit identical across all Workers values for a fixed Seed,
+	// provided handlers keep their state per-vertex (see the package doc).
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -110,6 +137,16 @@ type Handler interface {
 	Round(v *Vertex, round int, recv []Incoming)
 }
 
+// vertexMetrics is a per-vertex metrics shard. Sends account here, with no
+// shared-state contention; shards are drained into the run's Metrics at each
+// round barrier, so the aggregate is exact at every barrier and identical
+// whether rounds execute sequentially or in parallel.
+type vertexMetrics struct {
+	messages int64
+	words    int64
+	maxWords int
+}
+
 // Vertex is the per-vertex view of the network handed to handlers. Handlers
 // may only use the exposed methods; the global graph is not reachable from
 // it, preserving the locality of the model.
@@ -117,10 +154,12 @@ type Vertex struct {
 	sim    *Simulator
 	id     int
 	ports  []int // neighbor IDs by port, ascending
+	rports []int // rports[p] is the port on neighbor ports[p] leading back here
 	outbox []Message
 	halted bool
 	rng    *rand.Rand
 	output any
+	local  vertexMetrics
 }
 
 // ID returns this vertex's identifier (0..n-1).
@@ -167,14 +206,17 @@ func (v *Vertex) Send(port int, msg Message) {
 	if v.outbox[port] != nil {
 		panic(fmt.Sprintf("congest: vertex %d sent twice on port %d in one round", v.id, port))
 	}
+	if len(msg) > v.local.maxWords {
+		v.local.maxWords = len(msg)
+	}
 	v.sim.checkMessage(v.id, msg)
 	if len(msg) == 0 {
 		// Distinguish "send empty message" from "no send".
 		msg = Message{}
 	}
 	v.outbox[port] = msg
-	v.sim.metrics.Messages++
-	v.sim.metrics.Words += int64(len(msg))
+	v.local.messages++
+	v.local.words += int64(len(msg))
 }
 
 // Broadcast sends msg to every neighbor (ports that already have a queued
@@ -188,8 +230,9 @@ func (v *Vertex) Broadcast(msg Message) {
 }
 
 // Halt marks the vertex as finished. A halted vertex stops receiving Round
-// calls; its queued sends are still delivered. The simulation ends when all
-// vertices have halted.
+// calls; its queued sends are still delivered (the run executes delivery
+// rounds until every outbox is empty). The simulation ends when all vertices
+// have halted and all queued messages have been delivered.
 func (v *Vertex) Halt() { v.halted = true }
 
 // Halted reports whether the vertex halted.
@@ -214,12 +257,15 @@ type Metrics struct {
 // BitsPerWord returns the model-level size of one word for an n-vertex
 // network: ⌈log₂(max(n,2))⌉ bits, i.e. Θ(log n).
 func BitsPerWord(n int) int {
-	bits := 1
+	if n < 2 {
+		n = 2
+	}
+	bits := 0
 	for v := 1; v < n; v *= 2 {
 		bits++
 	}
-	if bits < 2 {
-		bits = 2
+	if bits < 1 {
+		bits = 1
 	}
 	return bits
 }
@@ -253,25 +299,20 @@ var ErrMaxRounds = errors.New("congest: exceeded maximum rounds without terminat
 
 // Simulator executes distributed algorithms on a fixed graph.
 type Simulator struct {
-	g        *graph.Graph
-	cfg      Config
-	metrics  Metrics
-	wordCap  int64
-	faultRng *rand.Rand
+	g       *graph.Graph
+	cfg     Config
+	metrics Metrics
+	wordCap int64
 }
 
 // NewSimulator returns a Simulator for g under cfg.
 func NewSimulator(g *graph.Graph, cfg Config) *Simulator {
 	cfg = cfg.withDefaults()
-	cap := int64(g.N()) * int64(g.N())
-	if cap < 1<<16 {
-		cap = 1 << 16
+	wordCap := int64(g.N()) * int64(g.N())
+	if wordCap < 1<<16 {
+		wordCap = 1 << 16
 	}
-	s := &Simulator{g: g, cfg: cfg, wordCap: cap}
-	if cfg.FaultRate > 0 {
-		s.faultRng = rand.New(rand.NewSource(cfg.Seed*7_777_777 + 13))
-	}
-	return s
+	return &Simulator{g: g, cfg: cfg, wordCap: wordCap}
 }
 
 // Graph returns the underlying network graph (for harness code; handlers
@@ -281,10 +322,9 @@ func (s *Simulator) Graph() *graph.Graph { return s.g }
 // Config returns the effective configuration.
 func (s *Simulator) Config() Config { return s.cfg }
 
+// checkMessage validates msg against the model. It must stay free of
+// Simulator mutation: it runs concurrently from all workers.
 func (s *Simulator) checkMessage(sender int, msg Message) {
-	if len(msg) > s.metrics.MaxWordsPerMsg {
-		s.metrics.MaxWordsPerMsg = len(msg)
-	}
 	if s.cfg.Model == LOCAL {
 		return
 	}
@@ -300,16 +340,95 @@ func (s *Simulator) checkMessage(sender int, msg Message) {
 	}
 }
 
+// faultCoin returns a uniform [0,1) coin for the message delivered to
+// receiver `to` from sender `from` in the given round, as a pure
+// splitmix64-style hash of (seed, round, from, to). Each message's drop
+// decision therefore depends only on its own coordinates — never on how many
+// other messages exist or in which order delivery scans them.
+func faultCoin(seed int64, round, from, to int) float64 {
+	h := uint64(seed) ^ 0x9e3779b97f4a7c15
+	for _, w := range [3]uint64{uint64(round), uint64(from), uint64(to)} {
+		h += w + 0x9e3779b97f4a7c15
+		h ^= h >> 30
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 27
+		h *= 0x94d049bb133111eb
+		h ^= h >> 31
+	}
+	return float64(h>>11) / (1 << 53)
+}
+
+// allHalted reports whether every vertex has halted.
+func allHalted(verts []*Vertex) bool {
+	for _, v := range verts {
+		if !v.halted {
+			return false
+		}
+	}
+	return true
+}
+
+// anyPending reports whether any vertex still has a queued outgoing message.
+// Only consulted once allHalted is true, so the O(m) scan runs at most a
+// couple of times per run.
+func anyPending(verts []*Vertex) bool {
+	for _, v := range verts {
+		for _, m := range v.outbox {
+			if m != nil {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// mergeMetrics drains every vertex's metrics shard into the run aggregate.
+// Called at round barriers only (never concurrently with handlers).
+func (s *Simulator) mergeMetrics(verts []*Vertex) {
+	for _, v := range verts {
+		s.metrics.Messages += v.local.messages
+		s.metrics.Words += v.local.words
+		if v.local.maxWords > s.metrics.MaxWordsPerMsg {
+			s.metrics.MaxWordsPerMsg = v.local.maxWords
+		}
+		v.local = vertexMetrics{}
+	}
+}
+
+// deliver moves queued messages into the inboxes of receivers lo..hi-1 for
+// the given round. The scan is receiver-centric: each receiver walks its own
+// ports in ascending neighbor order and claims the matching outbox slot on
+// the sender side, so (a) inbox order is canonically ascending by sender ID
+// regardless of which worker delivers, and (b) no two workers ever touch the
+// same outbox slot (each slot has exactly one receiver).
+func (s *Simulator) deliver(round int, verts []*Vertex, inboxes [][]Incoming, lo, hi int) {
+	for id := lo; id < hi; id++ {
+		v := verts[id]
+		inbox := inboxes[id][:0]
+		for p, from := range v.ports {
+			fv := verts[from]
+			slot := v.rports[p]
+			msg := fv.outbox[slot]
+			if msg == nil {
+				continue
+			}
+			fv.outbox[slot] = nil
+			if s.cfg.FaultRate > 0 && faultCoin(s.cfg.Seed, round, from, id) < s.cfg.FaultRate {
+				continue // dropped in transit (still counted as sent)
+			}
+			inbox = append(inbox, Incoming{Port: p, From: from, Msg: msg})
+		}
+		inboxes[id] = inbox
+	}
+}
+
 // Run executes the algorithm produced by newHandler on every vertex until
-// all halt or MaxRounds is exceeded. It returns the per-vertex outputs and
-// aggregated metrics. Run may be called repeatedly; each call is an
-// independent execution (metrics reset).
+// all halt (and all queued messages are delivered) or MaxRounds is exceeded.
+// It returns the per-vertex outputs and aggregated metrics. Run may be
+// called repeatedly; each call is an independent execution (metrics reset).
 func (s *Simulator) Run(newHandler func(v *Vertex) Handler) (Result, error) {
 	n := s.g.N()
 	s.metrics = Metrics{}
-	if s.cfg.FaultRate > 0 {
-		s.faultRng = rand.New(rand.NewSource(s.cfg.Seed*7_777_777 + 13))
-	}
 	verts := make([]*Vertex, n)
 	handlers := make([]Handler, n)
 	for id := 0; id < n; id++ {
@@ -322,62 +441,62 @@ func (s *Simulator) Run(newHandler func(v *Vertex) Handler) (Result, error) {
 			rng:    rand.New(rand.NewSource(s.cfg.Seed*1_000_003 + int64(id))),
 		}
 	}
+	// Precompute reverse ports: rports[p] is where vertex ports[p] keeps its
+	// outbox slot toward this vertex. Delivery claims slots through this
+	// table instead of a per-message binary search.
+	for id := 0; id < n; id++ {
+		v := verts[id]
+		v.rports = make([]int, len(v.ports))
+		for p, u := range v.ports {
+			v.rports[p] = verts[u].PortOf(id)
+		}
+	}
 	for id := 0; id < n; id++ {
 		handlers[id] = newHandler(verts[id])
 	}
+
+	exec := newExecutor(s.cfg.Workers, n)
+	if exec != nil {
+		defer exec.close()
+	}
+	// runPhase executes fn over the full vertex range, sharded across the
+	// worker pool when one exists. fn(lo, hi) must only touch state owned by
+	// vertices lo..hi-1 (plus the disjoint outbox slots deliver claims).
+	runPhase := func(fn func(lo, hi int)) {
+		if exec == nil {
+			fn(0, n)
+			return
+		}
+		exec.phase(fn)
+	}
+
+	// Init stays sequential: it runs once, and construction-time state is
+	// where test harnesses legitimately share setup across vertices.
 	for id := 0; id < n; id++ {
 		handlers[id].Init(verts[id])
 	}
+	s.mergeMetrics(verts)
+
 	inboxes := make([][]Incoming, n)
-	allHalted := func() bool {
-		for _, v := range verts {
-			if !v.halted {
-				return false
-			}
-		}
-		return true
-	}
 	for round := 1; ; round++ {
-		if allHalted() {
+		if allHalted(verts) && !anyPending(verts) {
 			break
 		}
 		if round > s.cfg.MaxRounds {
 			return Result{Metrics: s.metrics}, fmt.Errorf("%w (limit %d)", ErrMaxRounds, s.cfg.MaxRounds)
 		}
-		// Deliver: move outboxes into inboxes.
-		anyMsg := false
-		for id := 0; id < n; id++ {
-			inboxes[id] = inboxes[id][:0]
-		}
-		for id := 0; id < n; id++ {
-			v := verts[id]
-			for port, msg := range v.outbox {
-				if msg == nil {
-					continue
-				}
-				anyMsg = true
-				if s.faultRng != nil && s.faultRng.Float64() < s.cfg.FaultRate {
-					v.outbox[port] = nil // dropped in transit
-					continue
-				}
-				to := v.ports[port]
-				toV := verts[to]
-				inboxes[to] = append(inboxes[to], Incoming{
-					Port: toV.PortOf(id),
-					From: id,
-					Msg:  msg,
-				})
-				v.outbox[port] = nil
-			}
-		}
-		_ = anyMsg
+		r := round
+		runPhase(func(lo, hi int) { s.deliver(r, verts, inboxes, lo, hi) })
 		s.metrics.Rounds++
-		for id := 0; id < n; id++ {
-			if verts[id].halted {
-				continue
+		runPhase(func(lo, hi int) {
+			for id := lo; id < hi; id++ {
+				if verts[id].halted {
+					continue
+				}
+				handlers[id].Round(verts[id], r, inboxes[id])
 			}
-			handlers[id].Round(verts[id], round, inboxes[id])
-		}
+		})
+		s.mergeMetrics(verts)
 	}
 	outs := make([]any, n)
 	for id := 0; id < n; id++ {

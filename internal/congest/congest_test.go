@@ -283,8 +283,9 @@ func TestMetricsAdd(t *testing.T) {
 }
 
 func TestBitsPerWord(t *testing.T) {
+	// The documented contract is ⌈log₂(max(n,2))⌉ exactly.
 	cases := []struct{ n, want int }{
-		{1, 2}, {2, 2}, {3, 3}, {4, 3}, {5, 4}, {1024, 11},
+		{1, 1}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {1024, 10}, {1025, 11},
 	}
 	for _, tc := range cases {
 		if got := BitsPerWord(tc.n); got != tc.want {

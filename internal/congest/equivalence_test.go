@@ -1,0 +1,186 @@
+package congest_test
+
+import (
+	"reflect"
+	"testing"
+
+	"expandergap/internal/apps/maxis"
+	"expandergap/internal/congest"
+	"expandergap/internal/graph"
+	"expandergap/internal/primitives"
+	"expandergap/internal/routing"
+)
+
+// workerSweep is the executor matrix of the equivalence suite: the canonical
+// sequential path plus pools of 1 (exercises the dispatch machinery with no
+// actual concurrency), 4, and 8 workers.
+var workerSweep = []int{0, 1, 4, 8}
+
+// TestParallelEquivalenceLubyMIS runs Luby MIS on a 32×32 grid under every
+// executor configuration and demands byte-identical outputs and metrics.
+// Luby is the canonical randomized per-vertex workload: any divergence in
+// PRNG streams, inbox ordering, or metrics sharding shows up immediately.
+func TestParallelEquivalenceLubyMIS(t *testing.T) {
+	g := graph.Grid(32, 32)
+	type outcome struct {
+		set     []int
+		metrics congest.Metrics
+	}
+	var base *outcome
+	for _, workers := range workerSweep {
+		set, m, err := maxis.LubyMIS(g, congest.Config{Seed: 7, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got := &outcome{set: set, metrics: m}
+		if base == nil {
+			base = got
+			if len(set) == 0 {
+				t.Fatal("empty MIS")
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got.set, base.set) {
+			t.Errorf("workers=%d: MIS differs from sequential (%d vs %d vertices)",
+				workers, len(got.set), len(base.set))
+		}
+		if got.metrics != base.metrics {
+			t.Errorf("workers=%d: metrics %+v, sequential %+v", workers, got.metrics, base.metrics)
+		}
+	}
+}
+
+// TestParallelEquivalenceWalkRouting runs Lemma 2.4 walk routing on a 32×32
+// grid (single cluster, leader 0) under every executor configuration and
+// compares the full exchange result — responses, delivery accounting, leader
+// load — plus the metrics.
+func TestParallelEquivalenceWalkRouting(t *testing.T) {
+	g := graph.Grid(32, 32)
+	tokens := make([][]routing.Token, g.N())
+	for v := range tokens {
+		tokens[v] = []routing.Token{{A: int64(v), B: int64(v % 7)}}
+	}
+	plan := routing.Plan{
+		Cluster:       primitives.Uniform(g.N()),
+		Leader:        make([]int, g.N()), // all zero: leader is vertex 0
+		ForwardRounds: 3000,
+		Strategy:      routing.RandomWalk,
+	}
+	var baseRes *routing.ExchangeResult
+	var baseMetrics congest.Metrics
+	for _, workers := range workerSweep {
+		res, m, err := routing.Exchange(g, congest.Config{Seed: 11, Workers: workers}, plan, tokens,
+			func(leader int, tok routing.Token) (int64, int64) { return tok.A + 1, tok.B })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if baseRes == nil {
+			baseRes, baseMetrics = res, m
+			if res.Delivered == 0 {
+				t.Fatal("no tokens delivered in the baseline run")
+			}
+			continue
+		}
+		if !reflect.DeepEqual(res, baseRes) {
+			t.Errorf("workers=%d: exchange result differs from sequential (delivered %d vs %d)",
+				workers, res.Delivered, baseRes.Delivered)
+		}
+		if m != baseMetrics {
+			t.Errorf("workers=%d: metrics %+v, sequential %+v", workers, m, baseMetrics)
+		}
+	}
+}
+
+// TestParallelEquivalenceUnderFaults drops messages with a fixed rate and
+// checks the executor sweep still agrees bit-for-bit: fault coins are pure
+// hashes of (seed, round, sender, receiver), so the drop pattern must be
+// independent of delivery sharding.
+func TestParallelEquivalenceUnderFaults(t *testing.T) {
+	g := graph.Grid(16, 16)
+	run := func(workers int) ([]any, congest.Metrics) {
+		sim := congest.NewSimulator(g, congest.Config{Seed: 5, FaultRate: 0.2, Workers: workers, MaxRounds: 64})
+		res, err := sim.Run(func(v *congest.Vertex) congest.Handler {
+			sum := int64(0)
+			return congest.RunFuncs{
+				InitFn: func(v *congest.Vertex) {
+					v.Broadcast(congest.Message{int64(v.Rand().Intn(1000))})
+				},
+				RoundFn: func(v *congest.Vertex, round int, recv []congest.Incoming) {
+					for _, in := range recv {
+						sum += in.Msg[0]
+					}
+					if round < 8 {
+						v.Broadcast(congest.Message{sum % 1000})
+						return
+					}
+					v.SetOutput(sum)
+					v.Halt()
+				},
+			}
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res.Outputs, res.Metrics
+	}
+	baseOut, baseMetrics := run(0)
+	for _, workers := range workerSweep[1:] {
+		out, m := run(workers)
+		if !reflect.DeepEqual(out, baseOut) {
+			t.Errorf("workers=%d: outputs diverge from sequential under faults", workers)
+		}
+		if m != baseMetrics {
+			t.Errorf("workers=%d: metrics %+v, sequential %+v", workers, m, baseMetrics)
+		}
+	}
+}
+
+// TestParallelModelViolationPanics verifies the executor preserves the
+// "model violations panic" contract across the worker boundary.
+func TestParallelModelViolationPanics(t *testing.T) {
+	g := graph.Path(4)
+	sim := congest.NewSimulator(g, congest.Config{Seed: 1, MaxWords: 2, Workers: 4})
+	defer func() {
+		if recover() == nil {
+			t.Error("oversized message should panic through the worker pool")
+		}
+	}()
+	sim.Run(func(v *congest.Vertex) congest.Handler {
+		return congest.RunFuncs{RoundFn: func(v *congest.Vertex, round int, recv []congest.Incoming) {
+			if v.ID() == 2 && round == 2 {
+				v.Send(0, congest.Message{1, 2, 3})
+			}
+			if round > 2 {
+				v.Halt()
+			}
+		}}
+	})
+}
+
+// TestParallelWorkersExceedingVertices clamps gracefully: more workers than
+// vertices must behave like the sequential path.
+func TestParallelWorkersExceedingVertices(t *testing.T) {
+	g := graph.Path(3)
+	for _, workers := range []int{0, 16} {
+		sim := congest.NewSimulator(g, congest.Config{Seed: 3, Workers: workers})
+		res, err := sim.Run(func(v *congest.Vertex) congest.Handler {
+			return congest.RunFuncs{
+				InitFn: func(v *congest.Vertex) { v.Broadcast(congest.Message{int64(v.ID())}) },
+				RoundFn: func(v *congest.Vertex, round int, recv []congest.Incoming) {
+					sum := int64(0)
+					for _, in := range recv {
+						sum += in.Msg[0]
+					}
+					v.SetOutput(sum)
+					v.Halt()
+				},
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res.Outputs[1].(int64); got != 2 {
+			t.Errorf("workers=%d: vertex 1 sum = %d, want 2", workers, got)
+		}
+	}
+}

@@ -69,6 +69,67 @@ func TestFaultDeterministicGivenSeed(t *testing.T) {
 	}
 }
 
+// Regression: the drop coin for one message must depend only on
+// (seed, round, sender, receiver) — never on what other messages exist.
+// Previously drops consumed a shared PRNG in iteration order, so adding an
+// unrelated sender perturbed which other messages dropped.
+func TestFaultPatternStableUnderUnrelatedTraffic(t *testing.T) {
+	g := graph.Path(3) // 0-1-2
+	const rounds = 40
+	// deliveredAt reports in which rounds vertex 1 heard from vertex 0,
+	// with vertex 2 chattering (or not) in the background.
+	deliveredAt := func(chatter bool) []int {
+		sim := NewSimulator(g, Config{Seed: 6, FaultRate: 0.5, MaxRounds: rounds + 2})
+		var hits []int
+		_, err := sim.Run(func(v *Vertex) Handler {
+			return RunFuncs{
+				InitFn: func(v *Vertex) {
+					if v.ID() == 0 || (chatter && v.ID() == 2) {
+						v.Broadcast(Message{int64(v.ID())})
+					}
+				},
+				RoundFn: func(v *Vertex, round int, recv []Incoming) {
+					if round > rounds {
+						v.Halt()
+						return
+					}
+					switch v.ID() {
+					case 0:
+						v.Broadcast(Message{0})
+					case 1:
+						for _, in := range recv {
+							if in.From == 0 {
+								hits = append(hits, round)
+							}
+						}
+					case 2:
+						if chatter {
+							v.Broadcast(Message{2})
+						}
+					}
+				},
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hits
+	}
+	quiet := deliveredAt(false)
+	noisy := deliveredAt(true)
+	if len(quiet) == 0 || len(quiet) == rounds {
+		t.Fatalf("want a mixed drop pattern at rate 0.5, got %d/%d deliveries", len(quiet), rounds)
+	}
+	if len(quiet) != len(noisy) {
+		t.Fatalf("0→1 drop pattern changed with unrelated traffic: %v vs %v", quiet, noisy)
+	}
+	for i := range quiet {
+		if quiet[i] != noisy[i] {
+			t.Fatalf("0→1 drop pattern changed with unrelated traffic: %v vs %v", quiet, noisy)
+		}
+	}
+}
+
 func TestFaultsStillCountAsSent(t *testing.T) {
 	g := graph.Path(2)
 	sim := NewSimulator(g, Config{Seed: 2, FaultRate: 1.0})

@@ -1,0 +1,105 @@
+package congest
+
+import (
+	"testing"
+
+	"expandergap/internal/graph"
+)
+
+// Regression: Halt documents "queued sends are still delivered". Messages a
+// vertex queues in the same Round call in which it halts must still reach
+// their receivers (the receivers here stay un-halted one round longer so
+// they can observe the delivery).
+func TestFinalRoundSendsAreDelivered(t *testing.T) {
+	g := graph.Path(2)
+	sim := NewSimulator(g, Config{Seed: 1})
+	res, err := sim.Run(func(v *Vertex) Handler {
+		got := 0
+		return RunFuncs{
+			RoundFn: func(v *Vertex, round int, recv []Incoming) {
+				got += len(recv)
+				if v.ID() == 0 {
+					// Send and halt in the same round: the send must still
+					// be delivered.
+					v.Send(0, Message{42})
+					v.SetOutput(got)
+					v.Halt()
+					return
+				}
+				// Vertex 1 waits until the message arrives.
+				if got > 0 {
+					v.SetOutput(got)
+					v.Halt()
+				}
+			},
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := res.Outputs[1].(int); got != 1 {
+		t.Errorf("vertex 1 received %d messages, want 1 (final-round send dropped)", got)
+	}
+}
+
+// Regression: when every vertex halts in Init with queued sends, those sends
+// still count as one delivery round and must not be silently dropped. The
+// delivery is observable through Metrics.Rounds (the delivery round ran) —
+// receivers are already halted, so the messages are discarded on arrival,
+// exactly as for any other halted receiver.
+func TestInitHaltWithQueuedSendsStillRunsDeliveryRound(t *testing.T) {
+	g := graph.Path(2)
+	sim := NewSimulator(g, Config{Seed: 1})
+	res, err := sim.Run(func(v *Vertex) Handler {
+		return RunFuncs{InitFn: func(v *Vertex) {
+			v.Broadcast(Message{7})
+			v.Halt()
+		}}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Rounds != 1 {
+		t.Errorf("Rounds = %d, want 1 (queued Init sends need a delivery round)", res.Metrics.Rounds)
+	}
+	if res.Metrics.Messages != 2 {
+		t.Errorf("Messages = %d, want 2", res.Metrics.Messages)
+	}
+}
+
+// A vertex halting with queued sends while its neighbor keeps running must
+// have those sends delivered in the next round, not dropped at the halt
+// barrier.
+func TestHaltedSenderFinalMessageReachesRunningReceiver(t *testing.T) {
+	g := graph.Path(3) // 0-1-2
+	sim := NewSimulator(g, Config{Seed: 1, MaxRounds: 10})
+	res, err := sim.Run(func(v *Vertex) Handler {
+		return RunFuncs{
+			InitFn: func(v *Vertex) {
+				if v.ID() != 1 {
+					// Endpoints are done immediately; vertex 1 keeps going.
+					v.Halt()
+				}
+			},
+			RoundFn: func(v *Vertex, round int, recv []Incoming) {
+				// Only vertex 1 still runs. In round 1 it sends to both
+				// halted endpoints and halts itself — then waits for nothing.
+				if round == 1 {
+					v.Broadcast(Message{int64(v.ID())})
+					v.SetOutput(round)
+					v.Halt()
+				}
+			},
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The broadcast was queued in round 1; delivering it needs round 2.
+	if res.Metrics.Rounds != 2 {
+		t.Errorf("Rounds = %d, want 2 (final-round broadcast needs a delivery round)", res.Metrics.Rounds)
+	}
+	if res.Metrics.Messages != 2 {
+		t.Errorf("Messages = %d, want 2", res.Metrics.Messages)
+	}
+}

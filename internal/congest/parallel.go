@@ -1,0 +1,100 @@
+package congest
+
+import "sync"
+
+// executor is the deterministic parallel phase runner behind Config.Workers.
+//
+// The vertex range [0, n) is split into one contiguous chunk per worker;
+// each phase dispatches every chunk to the long-lived worker pool and blocks
+// until all chunks finish (the round barrier). Chunk boundaries depend only
+// on (Workers, n), and each chunk is processed in ascending vertex order, so
+// any per-vertex computation that is order-independent across vertices (the
+// simulator's delivery and compute phases are, by construction — per-vertex
+// PRNGs, canonical inbox order, hash-derived fault coins) produces results
+// identical to the sequential path.
+//
+// Handler panics (model violations are contracted to panic) are recovered on
+// the worker, parked per-chunk, and re-raised on the caller's goroutine
+// after the barrier — lowest chunk first, which matches the vertex the
+// sequential path would have panicked on.
+type executor struct {
+	workers int
+	n       int
+	chunk   int
+	tasks   chan execTask
+	wg      sync.WaitGroup
+	panics  []any // one slot per chunk, rewritten each phase
+}
+
+type execTask struct {
+	fn     func(lo, hi int)
+	lo, hi int
+	idx    int
+}
+
+// newExecutor returns a pool of the given size, or nil when the sequential
+// path should be used (workers <= 0 or an empty graph).
+func newExecutor(workers, n int) *executor {
+	if workers <= 0 || n == 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	nchunks := (n + chunk - 1) / chunk
+	e := &executor{
+		workers: workers,
+		n:       n,
+		chunk:   chunk,
+		tasks:   make(chan execTask, nchunks),
+		panics:  make([]any, nchunks),
+	}
+	for i := 0; i < workers; i++ {
+		go e.loop()
+	}
+	return e
+}
+
+func (e *executor) loop() {
+	for t := range e.tasks {
+		e.runTask(t)
+	}
+}
+
+func (e *executor) runTask(t execTask) {
+	defer e.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			e.panics[t.idx] = r // distinct slot per chunk: no lock needed
+		}
+	}()
+	t.fn(t.lo, t.hi)
+}
+
+// phase runs fn over [0, n) sharded across the pool and waits for the
+// barrier. fn(lo, hi) must touch only state owned by vertices lo..hi-1.
+func (e *executor) phase(fn func(lo, hi int)) {
+	for i := range e.panics {
+		e.panics[i] = nil
+	}
+	idx := 0
+	for lo := 0; lo < e.n; lo += e.chunk {
+		hi := lo + e.chunk
+		if hi > e.n {
+			hi = e.n
+		}
+		e.wg.Add(1)
+		e.tasks <- execTask{fn: fn, lo: lo, hi: hi, idx: idx}
+		idx++
+	}
+	e.wg.Wait()
+	for _, p := range e.panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+}
+
+// close shuts the pool down. The executor must not be used afterwards.
+func (e *executor) close() { close(e.tasks) }

@@ -200,14 +200,14 @@ func E3HighDegree(sizes []int, eps float64, seed int64) Outcome {
 
 // E4WalkRouting measures Lemma 2.4: random-walk routing delivers one token
 // per vertex to the cluster leader, with round cost and congestion reported.
-func E4WalkRouting(sizes []int, eps float64, seed int64) Outcome {
+func E4WalkRouting(sizes []int, eps float64, seed int64, workers int) Outcome {
 	t := &Table{
 		ID:      "E4",
 		Title:   "lazy-random-walk routing to v* (Lemma 2.4)",
 		Columns: []string{"family", "n", "clusters", "budget", "rounds", "delivered", "undelivered", "max-msg-words"},
 	}
 	rng := rand.New(rand.NewSource(seed))
-	cfg := congest.Config{Seed: seed}
+	cfg := congest.Config{Seed: seed, Workers: workers}
 	allDelivered := true
 	congestOK := true
 	for _, fam := range planarFamilies()[:2] { // grid + trigrid keep runtime modest

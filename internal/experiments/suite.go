@@ -20,6 +20,10 @@ type Params struct {
 	Eps         float64
 	Weights     []int64
 	Seed        int64
+	// Workers is passed to congest.Config for the simulator-heavy
+	// experiments (E4 walk routing, E15 round scaling). 0 = sequential.
+	// Results are identical for any value; only wall-clock changes.
+	Workers int
 }
 
 // DefaultParams returns the parameters for a scale.
@@ -61,7 +65,7 @@ func Named(id string, p Params) Outcome {
 	case "E3":
 		return E3HighDegree(p.DecompSizes, p.Eps, p.Seed)
 	case "E4":
-		return E4WalkRouting(p.DecompSizes, p.Eps, p.Seed)
+		return E4WalkRouting(p.DecompSizes, p.Eps, p.Seed, p.Workers)
 	case "E5":
 		return E5MaxIS(p.AppSizes, p.EpsList, p.Seed)
 	case "E6":
@@ -83,7 +87,7 @@ func Named(id string, p Params) Outcome {
 	case "E14":
 		return E14HypercubeTightness(p.Seed)
 	case "E15":
-		return E15RoundScaling(p.GapSizes, 0.3, p.Seed)
+		return E15RoundScaling(p.GapSizes, 0.3, p.Seed, p.Workers)
 	case "E16":
 		return E16DecomposerComparison(p.AppSizes, 0.4, p.Seed)
 	default:

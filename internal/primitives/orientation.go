@@ -99,11 +99,10 @@ func LowOutDegreeOrientation(g *graph.Graph, cfg congest.Config, cluster Cluster
 			}
 		}
 	}
-	for idx, owner := range orient.Owner {
+	for _, owner := range orient.Owner {
 		if owner >= 0 {
 			orient.OutDegree[owner]++
 		}
-		_ = idx
 	}
 	orient.Phases = maxPhases
 	return orient, res.Metrics, nil

