@@ -16,10 +16,10 @@ import (
 	"testing"
 
 	"expandergap/internal/apps/maxis"
+	"expandergap/internal/benchmarks"
 	"expandergap/internal/conductance"
 	"expandergap/internal/congest"
 	"expandergap/internal/core"
-	"expandergap/internal/expander"
 	"expandergap/internal/experiments"
 	"expandergap/internal/graph"
 	"expandergap/internal/minor"
@@ -129,82 +129,15 @@ func BenchmarkE4WalkRoutingLargestPar(b *testing.B) {
 }
 
 // --- substrate micro-benchmarks ---
+//
+// The bodies live in internal/benchmarks so cmd/benchjson can execute the
+// same code programmatically and record the perf trajectory in BENCH_<pr>.json.
 
-func BenchmarkSimulatorFlood(b *testing.B) {
-	g := graph.Grid(16, 16)
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		sim := congest.NewSimulator(g, congest.Config{Seed: 1})
-		_, err := sim.Run(func(v *congest.Vertex) congest.Handler {
-			seen := v.ID() == 0
-			return congest.RunFuncs{
-				InitFn: func(v *congest.Vertex) {
-					if seen {
-						v.Broadcast(congest.Message{1})
-					}
-				},
-				RoundFn: func(v *congest.Vertex, round int, recv []congest.Incoming) {
-					if !seen && len(recv) > 0 {
-						seen = true
-						v.Broadcast(congest.Message{1})
-					}
-					if seen {
-						v.Halt()
-					}
-				},
-			}
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-func BenchmarkExpanderDecompose(b *testing.B) {
-	rng := rand.New(rand.NewSource(1))
-	g := graph.RandomMaximalPlanar(200, rng)
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		if _, err := expander.Decompose(g, 0.3, expander.Options{Seed: 1}); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-func BenchmarkMPXClustering(b *testing.B) {
-	g := graph.Grid(16, 16)
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		if _, _, err := expander.MPX(g, congest.Config{Seed: int64(i)}, 0.2); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-func BenchmarkWalkRoutingGrid(b *testing.B) {
-	g := graph.Grid(8, 8)
-	leader := make([]int, g.N())
-	tokens := make([][]routing.Token, g.N())
-	for v := range tokens {
-		tokens[v] = []routing.Token{{A: int64(v)}}
-	}
-	plan := routing.Plan{
-		Cluster:       primitives.Uniform(g.N()),
-		Leader:        leader,
-		ForwardRounds: 8*g.M()*g.Diameter() + 64,
-		Strategy:      routing.RandomWalk,
-	}
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		res, _, err := routing.Exchange(g, congest.Config{Seed: int64(i)}, plan, tokens, nil)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if res.Undelivered > 0 {
-			b.Fatalf("undelivered: %d", res.Undelivered)
-		}
-	}
-}
+func BenchmarkSimulatorFlood(b *testing.B)            { benchmarks.SimulatorFlood(b) }
+func BenchmarkSimulatorFloodSteadyState(b *testing.B) { benchmarks.SimulatorFloodSteadyState(b) }
+func BenchmarkExpanderDecompose(b *testing.B)         { benchmarks.ExpanderDecompose(b) }
+func BenchmarkMPXClustering(b *testing.B)             { benchmarks.MPXClustering(b) }
+func BenchmarkWalkRoutingGrid(b *testing.B)           { benchmarks.WalkRoutingGrid(b) }
 
 func BenchmarkBlossomMatching(b *testing.B) {
 	rng := rand.New(rand.NewSource(2))
@@ -254,6 +187,7 @@ func BenchmarkSpectralSeparator(b *testing.B) {
 
 func BenchmarkFrameworkMaxISEndToEnd(b *testing.B) {
 	g := graph.Grid(7, 7)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := maxis.Approximate(g, maxis.Options{Eps: 0.25, Cfg: congest.Config{Seed: int64(i)}})
 		if err != nil {
@@ -265,11 +199,4 @@ func BenchmarkFrameworkMaxISEndToEnd(b *testing.B) {
 	}
 }
 
-func BenchmarkLubyMIS(b *testing.B) {
-	g := graph.Grid(12, 12)
-	for i := 0; i < b.N; i++ {
-		if _, _, err := maxis.LubyMIS(g, congest.Config{Seed: int64(i)}); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkLubyMIS(b *testing.B) { benchmarks.LubyMIS(b) }

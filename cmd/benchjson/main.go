@@ -1,0 +1,88 @@
+// Command benchjson executes the substrate micro-benchmarks from
+// internal/benchmarks programmatically and writes a machine-readable
+// BENCH_<pr>.json capturing ns/op, B/op and allocs/op per benchmark, so the
+// performance trajectory can be compared across PRs (benchstat-style) from
+// CI artifacts.
+//
+// Usage:
+//
+//	benchjson [-out BENCH_2.json] [-benchtime 100ms]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"expandergap/internal/benchmarks"
+)
+
+// record is one benchmark's measurement.
+type record struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// report is the full BENCH_<pr>.json document.
+type report struct {
+	PR int `json:"pr"`
+	// Baselines pins noteworthy pre-change numbers so later PRs (and this
+	// one's acceptance criteria) can compare without re-running old code.
+	Baselines  []record `json:"baselines,omitempty"`
+	Benchmarks []record `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_2.json", "output file")
+	benchtime := flag.String("benchtime", "100ms", "per-benchmark run budget (Go benchtime syntax)")
+	flag.Parse()
+
+	// testing.Benchmark honours the -test.benchtime flag; register the
+	// testing flags explicitly since this is a plain binary, not a test.
+	testing.Init()
+	if err := flag.Lookup("test.benchtime").Value.Set(*benchtime); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+
+	rep := report{
+		PR: 2,
+		Baselines: []record{
+			// BenchmarkSimulatorFlood on the pre-CSR simulator (seed commit
+			// 818038f, measured 2026-08-06 on the CI container class): the
+			// reference point for the PR 2 acceptance criterion.
+			{Name: "BenchmarkSimulatorFlood@pre-PR2", Iterations: 0,
+				NsPerOp: 3247143, BytesPerOp: 1541362, AllocsPerOp: 4097},
+		},
+	}
+	for _, bm := range benchmarks.Named() {
+		res := testing.Benchmark(bm.Fn)
+		rec := record{
+			Name:        bm.Name,
+			Iterations:  res.N,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+		}
+		rep.Benchmarks = append(rep.Benchmarks, rec)
+		fmt.Printf("%-40s %10d iters %14.0f ns/op %10d B/op %8d allocs/op\n",
+			rec.Name, rec.Iterations, rec.NsPerOp, rec.BytesPerOp, rec.AllocsPerOp)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

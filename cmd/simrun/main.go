@@ -6,6 +6,7 @@
 //
 //	simrun -algo maxis|mcm|mwm|corrclust|ldd|proptest|luby|greedy|pivot|mpx
 //	       [-family grid|trigrid|torus|planar|tree] [-n 64] [-eps 0.25] [-seed 1]
+//	       [-workers 4] [-cpuprofile cpu.prof] [-memprofile mem.prof]
 package main
 
 import (
@@ -14,6 +15,8 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"expandergap/internal/apps/corrclust"
 	"expandergap/internal/apps/ldd"
@@ -37,11 +40,42 @@ func main() {
 	detFlag := flag.Bool("deterministic", false, "use the deterministic (tree-routing) framework track")
 	distFlag := flag.Bool("distributed", false, "use the distributed (MPX+refine) decomposer")
 	faultFlag := flag.Float64("faults", 0, "message drop probability (failure-path exploration)")
+	workersFlag := flag.Int("workers", 0, "parallel simulator workers (0 = sequential)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, ferr := os.Create(*cpuProfile)
+		if ferr != nil {
+			fmt.Fprintf(os.Stderr, "simrun: %v\n", ferr)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if perr := pprof.StartCPUProfile(f); perr != nil {
+			fmt.Fprintf(os.Stderr, "simrun: %v\n", perr)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, ferr := os.Create(*memProfile)
+			if ferr != nil {
+				fmt.Fprintf(os.Stderr, "simrun: %v\n", ferr)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if perr := pprof.WriteHeapProfile(f); perr != nil {
+				fmt.Fprintf(os.Stderr, "simrun: %v\n", perr)
+			}
+		}()
+	}
 
 	rng := rand.New(rand.NewSource(*seedFlag))
 	g := buildGraph(*familyFlag, *nFlag, rng)
-	cfg := congest.Config{Seed: *seedFlag, FaultRate: *faultFlag}
+	cfg := congest.Config{Seed: *seedFlag, FaultRate: *faultFlag, Workers: *workersFlag}
 	coreOpts := core.Options{Deterministic: *detFlag}
 	if *distFlag {
 		coreOpts.Decomposer = core.DistributedDecomposer

@@ -1,0 +1,168 @@
+// Package benchmarks hosts the substrate micro-benchmarks shared between the
+// root `go test -bench` suite and cmd/benchjson, which executes them
+// programmatically (testing.Benchmark) to record the ns/op, B/op and
+// allocs/op trajectory across PRs in BENCH_<pr>.json.
+package benchmarks
+
+import (
+	"math/rand"
+	"testing"
+
+	"expandergap/internal/apps/maxis"
+	"expandergap/internal/congest"
+	"expandergap/internal/expander"
+	"expandergap/internal/graph"
+	"expandergap/internal/primitives"
+	"expandergap/internal/routing"
+)
+
+// floodHandler builds the standard flood workload: vertex 0 seeds a wave
+// that every vertex forwards once and then halts on.
+func floodHandler(v *congest.Vertex) congest.Handler {
+	seen := v.ID() == 0
+	return congest.RunFuncs{
+		InitFn: func(v *congest.Vertex) {
+			if seen {
+				v.Broadcast(congest.Message{1})
+			}
+		},
+		RoundFn: func(v *congest.Vertex, round int, recv []congest.Incoming) {
+			if !seen && len(recv) > 0 {
+				seen = true
+				v.Broadcast(congest.Message{1})
+			}
+			if seen {
+				v.Halt()
+			}
+		},
+	}
+}
+
+// SimulatorFlood measures a full flood execution on a 16x16 grid. The
+// simulator is built once and re-used across iterations, so the timing
+// covers handler construction plus the round loop — not graph/CSR setup.
+func SimulatorFlood(b *testing.B) {
+	g := graph.Grid(16, 16)
+	sim := congest.NewSimulator(g, congest.Config{Seed: 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(floodHandler); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// SimulatorFloodSteadyState isolates the steady-state round loop: a
+// non-terminating broadcast workload is started once, warmed up, and then
+// each iteration executes exactly one synchronous round. This is the path
+// the zero-allocation contract covers, and it must report 0 allocs/op.
+func SimulatorFloodSteadyState(b *testing.B) {
+	g := graph.Grid(16, 16)
+	sim := congest.NewSimulator(g, congest.Config{Seed: 1})
+	ex := sim.Start(func(v *congest.Vertex) congest.Handler {
+		val := int64(v.ID())
+		return congest.RunFuncs{
+			InitFn: func(v *congest.Vertex) { v.BroadcastWords(val) },
+			RoundFn: func(v *congest.Vertex, round int, recv []congest.Incoming) {
+				v.BroadcastWords(val)
+			},
+		}
+	})
+	defer ex.Close()
+	for i := 0; i < 4; i++ {
+		if _, err := ex.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ex.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ExpanderDecompose measures the recursive sparse-cut decomposition on a
+// 200-vertex random maximal planar graph.
+func ExpanderDecompose(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.RandomMaximalPlanar(200, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := expander.Decompose(g, 0.3, expander.Options{Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// MPXClustering measures the distributed exponential-shift clustering.
+func MPXClustering(b *testing.B) {
+	g := graph.Grid(16, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := expander.MPX(g, congest.Config{Seed: int64(i)}, 0.2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// WalkRoutingGrid measures random-walk token routing on an 8x8 grid.
+func WalkRoutingGrid(b *testing.B) {
+	g := graph.Grid(8, 8)
+	leader := make([]int, g.N())
+	tokens := make([][]routing.Token, g.N())
+	for v := range tokens {
+		tokens[v] = []routing.Token{{A: int64(v)}}
+	}
+	plan := routing.Plan{
+		Cluster:       primitives.Uniform(g.N()),
+		Leader:        leader,
+		ForwardRounds: 8*g.M()*g.Diameter() + 64,
+		Strategy:      routing.RandomWalk,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _, err := routing.Exchange(g, congest.Config{Seed: int64(i)}, plan, tokens, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Undelivered > 0 {
+			b.Fatalf("undelivered: %d", res.Undelivered)
+		}
+	}
+}
+
+// LubyMIS measures the classic randomized MIS on a 12x12 grid.
+func LubyMIS(b *testing.B) {
+	g := graph.Grid(12, 12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := maxis.LubyMIS(g, congest.Config{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Named lists every benchmark cmd/benchjson records, in output order.
+func Named() []struct {
+	Name string
+	Fn   func(b *testing.B)
+} {
+	return []struct {
+		Name string
+		Fn   func(b *testing.B)
+	}{
+		{"BenchmarkSimulatorFlood", SimulatorFlood},
+		{"BenchmarkSimulatorFloodSteadyState", SimulatorFloodSteadyState},
+		{"BenchmarkExpanderDecompose", ExpanderDecompose},
+		{"BenchmarkMPXClustering", MPXClustering},
+		{"BenchmarkWalkRoutingGrid", WalkRoutingGrid},
+		{"BenchmarkLubyMIS", LubyMIS},
+	}
+}

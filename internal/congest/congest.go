@@ -35,6 +35,21 @@
 // A run ends when every vertex has halted and every queued message has been
 // delivered: sends queued in a vertex's final round still cost (and are
 // accounted as) one delivery round, per the documented Halt contract.
+//
+// # Memory layout and message arenas
+//
+// The steady-state round loop is allocation-free (see DESIGN.md §3.8). The
+// vertex table is stored CSR-style: one value slice of Vertex records whose
+// ports, reverse ports, outbox slots, and inbox slots are contiguous
+// sub-slices of four shared flat arrays, built once per Simulator and reused
+// across Run calls. Handlers that need per-round message buffers should use
+// Vertex.MsgBuf (or the SendWords/BroadcastWords conveniences), which
+// recycles a per-vertex double-buffered arena instead of allocating.
+//
+// Arena lifetime contract: a Message received in a Round call is valid only
+// until that Round call returns. Handlers that retain a message across
+// rounds must Clone it. Messages built by MsgBuf in round r are reclaimed in
+// round r+2, strictly after every receiver has finished reading them.
 package congest
 
 import (
@@ -122,7 +137,8 @@ type Incoming struct {
 	// vertex would know its neighbors' IDs anyway, so the simulator provides
 	// them up front).
 	From int
-	// Msg is the received message.
+	// Msg is the received message. It is valid only until the receiving
+	// Round call returns; Clone it to retain it across rounds.
 	Msg Message
 }
 
@@ -137,29 +153,47 @@ type Handler interface {
 	Round(v *Vertex, round int, recv []Incoming)
 }
 
-// vertexMetrics is a per-vertex metrics shard. Sends account here, with no
-// shared-state contention; shards are drained into the run's Metrics at each
-// round barrier, so the aggregate is exact at every barrier and identical
-// whether rounds execute sequentially or in parallel.
+// vertexMetrics is a per-vertex metrics shard. Sends and halts account here,
+// with no shared-state contention; shards are drained into the run's Metrics
+// and termination counters at each round barrier, so the aggregate is exact
+// at every barrier and identical whether rounds execute sequentially or in
+// parallel.
 type vertexMetrics struct {
 	messages int64
 	words    int64
 	maxWords int
+	halts    int
+}
+
+// msgArena is one half of a vertex's double-buffered message arena. Buffers
+// handed out in round r (parity r&1) are reclaimed when the same parity
+// comes around again in round r+2 — by which time every receiver's Round
+// call of round r+1 has returned, so no live reference remains.
+type msgArena struct {
+	buf   []int64
+	used  int
+	round int // last round this arena served; -1 when fresh
 }
 
 // Vertex is the per-vertex view of the network handed to handlers. Handlers
 // may only use the exposed methods; the global graph is not reachable from
 // it, preserving the locality of the model.
+//
+// Vertices live in one contiguous value slice; their ports, reverse ports,
+// and outbox slots are sub-slices of shared flat arrays (the CSR layout of
+// DESIGN.md §3.8).
 type Vertex struct {
-	sim    *Simulator
-	id     int
-	ports  []int // neighbor IDs by port, ascending
-	rports []int // rports[p] is the port on neighbor ports[p] leading back here
-	outbox []Message
-	halted bool
-	rng    *rand.Rand
-	output any
-	local  vertexMetrics
+	sim       *Simulator
+	id        int
+	ports     []int32   // neighbor IDs by port, ascending (view into flat array)
+	rports    []int32   // rports[p] is the port on neighbor ports[p] leading back here
+	outbox    []Message // view into the shared flat outbox array
+	halted    bool
+	rng       *rand.Rand
+	rngSeeded bool // lazily (re)seeded on first Rand() per execution
+	output    any
+	local     vertexMetrics
+	arenas    [2]msgArena
 }
 
 // ID returns this vertex's identifier (0..n-1).
@@ -173,7 +207,7 @@ func (v *Vertex) N() int { return v.sim.g.N() }
 func (v *Vertex) Degree() int { return len(v.ports) }
 
 // NeighborID returns the vertex ID of the neighbor on the given port.
-func (v *Vertex) NeighborID(port int) int { return v.ports[port] }
+func (v *Vertex) NeighborID(port int) int { return int(v.ports[port]) }
 
 // PortOf returns the port leading to neighbor id, or -1 if id is not a
 // neighbor.
@@ -181,20 +215,69 @@ func (v *Vertex) PortOf(id int) int {
 	lo, hi := 0, len(v.ports)
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if v.ports[mid] < id {
+		if int(v.ports[mid]) < id {
 			lo = mid + 1
 		} else {
 			hi = mid
 		}
 	}
-	if lo < len(v.ports) && v.ports[lo] == id {
+	if lo < len(v.ports) && int(v.ports[lo]) == id {
 		return lo
 	}
 	return -1
 }
 
 // Rand returns this vertex's private deterministic PRNG.
-func (v *Vertex) Rand() *rand.Rand { return v.rng }
+func (v *Vertex) Rand() *rand.Rand {
+	if !v.rngSeeded {
+		// Seeding the lagged-Fibonacci source is expensive (hundreds of
+		// words of state), so both the allocation and the (re)seed are
+		// deferred until a handler actually draws randomness; workloads
+		// that never call Rand pay nothing. Seed resets the source to the
+		// exact stream rand.NewSource would produce, so lazy seeding is
+		// invisible to results.
+		if v.rng == nil {
+			v.rng = rand.New(rand.NewSource(v.sim.cfg.Seed*1_000_003 + int64(v.id)))
+		} else {
+			v.rng.Seed(v.sim.cfg.Seed*1_000_003 + int64(v.id))
+		}
+		v.rngSeeded = true
+	}
+	return v.rng
+}
+
+// MsgBuf returns a zeroed Message of the given word count backed by this
+// vertex's recycling arena. The buffer may be filled and passed to Send /
+// Broadcast like any Message; it is reclaimed two rounds later, strictly
+// after every receiver's Round call that could observe it has returned
+// (receivers Clone to retain). Steady-state use is allocation-free once the
+// arena has grown to the vertex's peak per-round demand.
+func (v *Vertex) MsgBuf(words int) Message {
+	a := &v.arenas[v.sim.curRound&1]
+	if a.round != v.sim.curRound {
+		a.round = v.sim.curRound
+		a.used = 0
+	}
+	if a.used+words > len(a.buf) {
+		// Grow into a fresh buffer; Messages already handed out this round
+		// keep the old backing array alive until their receivers finish.
+		size := 2 * len(a.buf)
+		if size < words {
+			size = words
+		}
+		if size < 64 {
+			size = 64
+		}
+		a.buf = make([]int64, size)
+		a.used = 0
+	}
+	m := a.buf[a.used : a.used+words : a.used+words]
+	a.used += words
+	for i := range m {
+		m[i] = 0
+	}
+	return Message(m)
+}
 
 // Send queues msg for delivery to the neighbor on port in the next round.
 // Sending twice to the same port in one round, sending on an invalid port,
@@ -219,8 +302,16 @@ func (v *Vertex) Send(port int, msg Message) {
 	v.local.words += int64(len(msg))
 }
 
+// SendWords queues an arena-backed message with the given words on port: the
+// allocation-free equivalent of Send(port, Message{words...}).
+func (v *Vertex) SendWords(port int, words ...int64) {
+	buf := v.MsgBuf(len(words))
+	copy(buf, words)
+	v.Send(port, buf)
+}
+
 // Broadcast sends msg to every neighbor (ports that already have a queued
-// message this round are skipped).
+// message this round are skipped). Each neighbor receives its own copy.
 func (v *Vertex) Broadcast(msg Message) {
 	for p := range v.ports {
 		if v.outbox[p] == nil {
@@ -229,11 +320,31 @@ func (v *Vertex) Broadcast(msg Message) {
 	}
 }
 
+// BroadcastWords sends one arena-backed message with the given words to
+// every neighbor whose port is free this round: the allocation-free
+// equivalent of Broadcast(Message{words...}). All receivers observe the same
+// backing buffer, which is safe under the arena contract (received messages
+// are read-only and expire when Round returns).
+func (v *Vertex) BroadcastWords(words ...int64) {
+	buf := v.MsgBuf(len(words))
+	copy(buf, words)
+	for p := range v.ports {
+		if v.outbox[p] == nil {
+			v.Send(p, buf)
+		}
+	}
+}
+
 // Halt marks the vertex as finished. A halted vertex stops receiving Round
 // calls; its queued sends are still delivered (the run executes delivery
 // rounds until every outbox is empty). The simulation ends when all vertices
 // have halted and all queued messages have been delivered.
-func (v *Vertex) Halt() { v.halted = true }
+func (v *Vertex) Halt() {
+	if !v.halted {
+		v.halted = true
+		v.local.halts++
+	}
+}
 
 // Halted reports whether the vertex halted.
 func (v *Vertex) Halted() bool { return v.halted }
@@ -298,11 +409,42 @@ type Result struct {
 var ErrMaxRounds = errors.New("congest: exceeded maximum rounds without termination")
 
 // Simulator executes distributed algorithms on a fixed graph.
+//
+// The CSR vertex layout and all per-run buffers are cached on the Simulator
+// and reused, so repeated Run calls on one Simulator cost only the handler
+// construction the caller performs. A Simulator supports one execution at a
+// time; it is not safe for concurrent use.
 type Simulator struct {
 	g       *graph.Graph
 	cfg     Config
 	metrics Metrics
 	wordCap int64
+
+	// O(1) termination tracking (DESIGN.md §3.8): haltedCount is the number
+	// of vertices that have halted, pendingMsgs the number of messages
+	// queued by the most recent Init/compute phase. Both are maintained
+	// from per-vertex shards merged at the round barrier, and are exact
+	// there because delivery drains every outbox every round.
+	haltedCount int
+	pendingMsgs int64
+	// curRound is the round whose compute (or Init, round 0) phase is
+	// executing; read-only during phases, it selects the arena parity.
+	curRound int
+
+	// CSR layout, built once per Simulator and shared by all executions:
+	// vertex v's ports/rports/outbox/inbox views are the flat-array ranges
+	// [off[v], off[v+1]).
+	off       []int32
+	portsFlat []int32
+	rportFlat []int32
+
+	// Reusable per-run state.
+	verts      []Vertex
+	outboxFlat []Message
+	inboxFlat  []Incoming
+	inboxes    [][]Incoming
+	handlers   []Handler
+	active     bool
 }
 
 // NewSimulator returns a Simulator for g under cfg.
@@ -358,41 +500,70 @@ func faultCoin(seed int64, round, from, to int) float64 {
 	return float64(h>>11) / (1 << 53)
 }
 
-// allHalted reports whether every vertex has halted.
-func allHalted(verts []*Vertex) bool {
-	for _, v := range verts {
-		if !v.halted {
-			return false
-		}
+// buildLayout computes the CSR vertex layout (flat ports, reverse ports, and
+// per-vertex offsets) once per Simulator. Reverse ports are derived with a
+// counting pass instead of per-edge binary search: visiting vertices in
+// ascending ID order, the position of id in neighbor u's (sorted) port list
+// is exactly the number of u's neighbors already visited.
+func (s *Simulator) buildLayout() {
+	if s.off != nil {
+		return
 	}
-	return true
+	n := s.g.N()
+	s.off = make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		s.off[v+1] = s.off[v] + int32(s.g.Degree(v))
+	}
+	total := int(s.off[n])
+	s.portsFlat = make([]int32, total)
+	s.rportFlat = make([]int32, total)
+	cursor := make([]int32, n)
+	for v := 0; v < n; v++ {
+		i := s.off[v]
+		s.g.ForEachNeighbor(v, func(u, _ int) {
+			s.portsFlat[i] = int32(u)
+			s.rportFlat[i] = cursor[u]
+			cursor[u]++
+			i++
+		})
+	}
+	s.outboxFlat = make([]Message, total)
+	s.inboxFlat = make([]Incoming, total)
+	s.verts = make([]Vertex, n)
+	s.inboxes = make([][]Incoming, n)
+	s.handlers = make([]Handler, n)
+	for v := 0; v < n; v++ {
+		lo, hi := s.off[v], s.off[v+1]
+		s.verts[v] = Vertex{
+			sim:    s,
+			id:     v,
+			ports:  s.portsFlat[lo:hi:hi],
+			rports: s.rportFlat[lo:hi:hi],
+			outbox: s.outboxFlat[lo:hi:hi],
+		}
+		s.inboxes[v] = s.inboxFlat[lo:lo:hi]
+	}
 }
 
-// anyPending reports whether any vertex still has a queued outgoing message.
-// Only consulted once allHalted is true, so the O(m) scan runs at most a
-// couple of times per run.
-func anyPending(verts []*Vertex) bool {
-	for _, v := range verts {
-		for _, m := range v.outbox {
-			if m != nil {
-				return true
-			}
-		}
-	}
-	return false
-}
-
-// mergeMetrics drains every vertex's metrics shard into the run aggregate.
-// Called at round barriers only (never concurrently with handlers).
-func (s *Simulator) mergeMetrics(verts []*Vertex) {
-	for _, v := range verts {
+// mergeShards drains every vertex's metrics shard into the run aggregate and
+// the termination counters. Called at round barriers only (never
+// concurrently with handlers). pendingMsgs is exact here because delivery
+// drains every outbox every round, so the only queued messages are the ones
+// sent since the previous barrier.
+func (s *Simulator) mergeShards() {
+	var phaseSends int64
+	for i := range s.verts {
+		v := &s.verts[i]
 		s.metrics.Messages += v.local.messages
 		s.metrics.Words += v.local.words
+		phaseSends += v.local.messages
+		s.haltedCount += v.local.halts
 		if v.local.maxWords > s.metrics.MaxWordsPerMsg {
 			s.metrics.MaxWordsPerMsg = v.local.maxWords
 		}
 		v.local = vertexMetrics{}
 	}
+	s.pendingMsgs = phaseSends
 }
 
 // deliver moves queued messages into the inboxes of receivers lo..hi-1 for
@@ -401,108 +572,188 @@ func (s *Simulator) mergeMetrics(verts []*Vertex) {
 // the sender side, so (a) inbox order is canonically ascending by sender ID
 // regardless of which worker delivers, and (b) no two workers ever touch the
 // same outbox slot (each slot has exactly one receiver).
-func (s *Simulator) deliver(round int, verts []*Vertex, inboxes [][]Incoming, lo, hi int) {
+func (s *Simulator) deliver(round, lo, hi int) {
 	for id := lo; id < hi; id++ {
-		v := verts[id]
-		inbox := inboxes[id][:0]
+		v := &s.verts[id]
+		inbox := s.inboxes[id][:0]
 		for p, from := range v.ports {
-			fv := verts[from]
+			fv := &s.verts[from]
 			slot := v.rports[p]
 			msg := fv.outbox[slot]
 			if msg == nil {
 				continue
 			}
 			fv.outbox[slot] = nil
-			if s.cfg.FaultRate > 0 && faultCoin(s.cfg.Seed, round, from, id) < s.cfg.FaultRate {
+			if s.cfg.FaultRate > 0 && faultCoin(s.cfg.Seed, round, int(from), id) < s.cfg.FaultRate {
 				continue // dropped in transit (still counted as sent)
 			}
-			inbox = append(inbox, Incoming{Port: p, From: from, Msg: msg})
+			inbox = append(inbox, Incoming{Port: p, From: int(from), Msg: msg})
 		}
-		inboxes[id] = inbox
+		s.inboxes[id] = inbox
 	}
 }
 
-// Run executes the algorithm produced by newHandler on every vertex until
-// all halt (and all queued messages are delivered) or MaxRounds is exceeded.
-// It returns the per-vertex outputs and aggregated metrics. Run may be
-// called repeatedly; each call is an independent execution (metrics reset).
-func (s *Simulator) Run(newHandler func(v *Vertex) Handler) (Result, error) {
+// Execution is one in-flight run of an algorithm on a Simulator, created by
+// Start. Step advances it one synchronized round at a time; Finish collects
+// the result. Run wraps the three for the common case. The Step path
+// performs no heap allocations in the steady state, which is what the
+// substrate benchmarks measure.
+type Execution struct {
+	s         *Simulator
+	exec      *executor
+	round     int
+	done      bool
+	closed    bool
+	deliverFn func(lo, hi int)
+	computeFn func(lo, hi int)
+}
+
+// Start resets the Simulator's run state, constructs one handler per vertex
+// via newHandler, executes the Init phase, and returns the Execution ready
+// for its first Step. A Simulator supports one active execution at a time;
+// Close (or Finish via Run) releases it.
+func (s *Simulator) Start(newHandler func(v *Vertex) Handler) *Execution {
+	if s.active {
+		panic("congest: Start called while a previous execution is active")
+	}
+	s.active = true
+	s.buildLayout()
 	n := s.g.N()
 	s.metrics = Metrics{}
-	verts := make([]*Vertex, n)
-	handlers := make([]Handler, n)
-	for id := 0; id < n; id++ {
-		nbrs := s.g.Neighbors(id)
-		verts[id] = &Vertex{
-			sim:    s,
-			id:     id,
-			ports:  nbrs,
-			outbox: make([]Message, len(nbrs)),
-			rng:    rand.New(rand.NewSource(s.cfg.Seed*1_000_003 + int64(id))),
+	s.haltedCount = 0
+	s.pendingMsgs = 0
+	s.curRound = 0
+	for i := range s.verts {
+		v := &s.verts[i]
+		v.halted = false
+		v.output = nil
+		v.local = vertexMetrics{}
+		v.arenas[0].used, v.arenas[0].round = 0, -1
+		v.arenas[1].used, v.arenas[1].round = 0, -1
+		// Marking the rng stale is enough: Rand() reseeds on first use, so
+		// repeated runs stay bit-identical to a fresh Simulator without
+		// paying the O(n) reseed cost for workloads that never draw.
+		v.rngSeeded = false
+		for p := range v.outbox {
+			v.outbox[p] = nil
 		}
-	}
-	// Precompute reverse ports: rports[p] is where vertex ports[p] keeps its
-	// outbox slot toward this vertex. Delivery claims slots through this
-	// table instead of a per-message binary search.
-	for id := 0; id < n; id++ {
-		v := verts[id]
-		v.rports = make([]int, len(v.ports))
-		for p, u := range v.ports {
-			v.rports[p] = verts[u].PortOf(id)
-		}
+		lo := s.off[i]
+		s.inboxes[i] = s.inboxFlat[lo:lo]
 	}
 	for id := 0; id < n; id++ {
-		handlers[id] = newHandler(verts[id])
+		s.handlers[id] = newHandler(&s.verts[id])
 	}
 
-	exec := newExecutor(s.cfg.Workers, n)
-	if exec != nil {
-		defer exec.close()
-	}
-	// runPhase executes fn over the full vertex range, sharded across the
-	// worker pool when one exists. fn(lo, hi) must only touch state owned by
-	// vertices lo..hi-1 (plus the disjoint outbox slots deliver claims).
-	runPhase := func(fn func(lo, hi int)) {
-		if exec == nil {
-			fn(0, n)
-			return
+	e := &Execution{s: s, exec: newExecutor(s.cfg.Workers, n)}
+	// The two phase closures are built once per execution so the round loop
+	// itself allocates nothing.
+	e.deliverFn = func(lo, hi int) { s.deliver(e.round, lo, hi) }
+	e.computeFn = func(lo, hi int) {
+		for id := lo; id < hi; id++ {
+			v := &s.verts[id]
+			if v.halted {
+				continue
+			}
+			s.handlers[id].Round(v, e.round, s.inboxes[id])
 		}
-		exec.phase(fn)
 	}
 
 	// Init stays sequential: it runs once, and construction-time state is
 	// where test harnesses legitimately share setup across vertices.
 	for id := 0; id < n; id++ {
-		handlers[id].Init(verts[id])
+		s.handlers[id].Init(&s.verts[id])
 	}
-	s.mergeMetrics(verts)
+	s.mergeShards()
+	return e
+}
 
-	inboxes := make([][]Incoming, n)
-	for round := 1; ; round++ {
-		if allHalted(verts) && !anyPending(verts) {
-			break
-		}
-		if round > s.cfg.MaxRounds {
-			return Result{Metrics: s.metrics}, fmt.Errorf("%w (limit %d)", ErrMaxRounds, s.cfg.MaxRounds)
-		}
-		r := round
-		runPhase(func(lo, hi int) { s.deliver(r, verts, inboxes, lo, hi) })
-		s.metrics.Rounds++
-		runPhase(func(lo, hi int) {
-			for id := lo; id < hi; id++ {
-				if verts[id].halted {
-					continue
-				}
-				handlers[id].Round(verts[id], r, inboxes[id])
-			}
-		})
-		s.mergeMetrics(verts)
+// runPhase executes fn over the full vertex range, sharded across the worker
+// pool when one exists. fn(lo, hi) must only touch state owned by vertices
+// lo..hi-1 (plus the disjoint outbox slots deliver claims).
+func (e *Execution) runPhase(fn func(lo, hi int)) {
+	if e.exec == nil {
+		fn(0, e.s.g.N())
+		return
 	}
+	e.exec.phase(fn)
+}
+
+// Step executes one synchronized round: delivery, compute, and the barrier
+// merge of metric shards. It reports done=true (without executing anything)
+// once every vertex has halted and every queued message has been delivered —
+// an O(1) check against the running counters — and ErrMaxRounds when the
+// round budget is exhausted.
+func (e *Execution) Step() (done bool, err error) {
+	s := e.s
+	if s.haltedCount == s.g.N() && s.pendingMsgs == 0 {
+		e.done = true
+		return true, nil
+	}
+	round := e.round + 1
+	if round > s.cfg.MaxRounds {
+		return false, fmt.Errorf("%w (limit %d)", ErrMaxRounds, s.cfg.MaxRounds)
+	}
+	e.round = round
+	s.curRound = round
+	e.runPhase(e.deliverFn)
+	s.metrics.Rounds++
+	e.runPhase(e.computeFn)
+	s.mergeShards()
+	return false, nil
+}
+
+// Metrics returns the metrics accumulated so far (exact at every round
+// barrier).
+func (e *Execution) Metrics() Metrics { return e.s.metrics }
+
+// Round returns the number of rounds executed so far.
+func (e *Execution) Round() int { return e.round }
+
+// Finish collects the per-vertex outputs and releases the execution (Close
+// is implied). It may be called once, after Step reported done.
+func (e *Execution) Finish() Result {
+	n := e.s.g.N()
 	outs := make([]any, n)
 	for id := 0; id < n; id++ {
-		outs[id] = verts[id].output
+		outs[id] = e.s.verts[id].output
 	}
-	return Result{Metrics: s.metrics, Outputs: outs}, nil
+	res := Result{Metrics: e.s.metrics, Outputs: outs}
+	e.Close()
+	return res
+}
+
+// Close releases the execution's worker pool and re-arms the Simulator for
+// the next Start. It is idempotent and safe to defer alongside Finish.
+func (e *Execution) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	if e.exec != nil {
+		e.exec.close()
+		e.exec = nil
+	}
+	e.s.active = false
+}
+
+// Run executes the algorithm produced by newHandler on every vertex until
+// all halt (and all queued messages are delivered) or MaxRounds is exceeded.
+// It returns the per-vertex outputs and aggregated metrics. Run may be
+// called repeatedly; each call is an independent execution (metrics reset)
+// that reuses the Simulator's cached layout and buffers.
+func (s *Simulator) Run(newHandler func(v *Vertex) Handler) (Result, error) {
+	e := s.Start(newHandler)
+	defer e.Close()
+	for {
+		done, err := e.Step()
+		if err != nil {
+			return Result{Metrics: s.metrics}, err
+		}
+		if done {
+			break
+		}
+	}
+	return e.Finish(), nil
 }
 
 // RunFuncs is a convenience for algorithms expressible as closures.

@@ -1,0 +1,132 @@
+package congest_test
+
+import (
+	"testing"
+
+	"expandergap/internal/apps/maxis"
+	"expandergap/internal/congest"
+	"expandergap/internal/graph"
+)
+
+// floodHandler is the pinned min-distance flood workload: vertex 0 broadcasts
+// distance 0; every other vertex adopts 1 + min over received distances,
+// rebroadcasts once, and halts.
+func floodHandler(v *congest.Vertex) congest.Handler {
+	seen := v.ID() == 0
+	dist := 0
+	return congest.RunFuncs{
+		InitFn: func(v *congest.Vertex) {
+			if seen {
+				v.Broadcast(congest.Message{0})
+			}
+		},
+		RoundFn: func(v *congest.Vertex, round int, recv []congest.Incoming) {
+			if !seen && len(recv) > 0 {
+				seen = true
+				best := recv[0].Msg[0]
+				for _, in := range recv[1:] {
+					if in.Msg[0] < best {
+						best = in.Msg[0]
+					}
+				}
+				dist = int(best) + 1
+				v.Broadcast(congest.Message{int64(dist)})
+			}
+			if seen {
+				v.SetOutput(dist)
+				v.Halt()
+			}
+		},
+	}
+}
+
+// TestGoldenDeterminism pins the exact outputs and metrics of two fixed-seed
+// workloads (grid flood and Luby MIS), for both the sequential and the
+// parallel executor. The values were captured from the pre-CSR simulator, so
+// this test proves the zero-allocation layout is behavior-preserving and
+// that Workers is invisible to results.
+func TestGoldenDeterminism(t *testing.T) {
+	const (
+		goldenFloodRounds  = 31
+		goldenFloodMsgs    = 960
+		goldenFloodWords   = 960
+		goldenFloodDistSum = 3840
+
+		goldenLubyRounds = 13
+		goldenLubyMsgs   = 1981
+		goldenLubyWords  = 5257
+		goldenLubySize   = 92
+		goldenLubyHash   = 4508672213933379464
+	)
+	for _, workers := range []int{0, 4} {
+		g := graph.Grid(16, 16)
+		sim := congest.NewSimulator(g, congest.Config{Seed: 1, Workers: workers})
+		res, err := sim.Run(floodHandler)
+		if err != nil {
+			t.Fatalf("workers=%d flood: %v", workers, err)
+		}
+		m := res.Metrics
+		if m.Rounds != goldenFloodRounds || m.Messages != goldenFloodMsgs ||
+			m.Words != goldenFloodWords || m.MaxWordsPerMsg != 1 {
+			t.Errorf("workers=%d flood metrics = %+v, want rounds=%d msgs=%d words=%d maxw=1",
+				workers, m, goldenFloodRounds, goldenFloodMsgs, goldenFloodWords)
+		}
+		sum := 0
+		for _, o := range res.Outputs {
+			sum += o.(int)
+		}
+		if sum != goldenFloodDistSum {
+			t.Errorf("workers=%d flood distance sum = %d, want %d", workers, sum, goldenFloodDistSum)
+		}
+
+		set, lm, err := maxis.LubyMIS(g, congest.Config{Seed: 7, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d luby: %v", workers, err)
+		}
+		if lm.Rounds != goldenLubyRounds || lm.Messages != goldenLubyMsgs ||
+			lm.Words != goldenLubyWords || lm.MaxWordsPerMsg != 3 {
+			t.Errorf("workers=%d luby metrics = %+v, want rounds=%d msgs=%d words=%d maxw=3",
+				workers, lm, goldenLubyRounds, goldenLubyMsgs, goldenLubyWords)
+		}
+		h := 0
+		for _, v := range set {
+			h = h*31 + v
+		}
+		if len(set) != goldenLubySize || h != goldenLubyHash {
+			t.Errorf("workers=%d luby |set|=%d hash=%d, want %d/%d",
+				workers, len(set), h, goldenLubySize, goldenLubyHash)
+		}
+	}
+}
+
+// TestSteadyStateZeroAllocs asserts the sequential round loop is
+// allocation-free once warm: a non-terminating broadcast workload stepped via
+// the Execution API must not allocate per round.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	g := graph.Grid(16, 16)
+	sim := congest.NewSimulator(g, congest.Config{Seed: 1})
+	ex := sim.Start(func(v *congest.Vertex) congest.Handler {
+		val := int64(v.ID())
+		return congest.RunFuncs{
+			InitFn: func(v *congest.Vertex) { v.BroadcastWords(val) },
+			RoundFn: func(v *congest.Vertex, round int, recv []congest.Incoming) {
+				v.BroadcastWords(val)
+			},
+		}
+	})
+	defer ex.Close()
+	// Warm up so arenas and inboxes reach their steady-state capacity.
+	for i := 0; i < 4; i++ {
+		if _, err := ex.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := ex.Step(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Step allocates %.1f times per round, want 0", allocs)
+	}
+}

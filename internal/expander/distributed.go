@@ -35,9 +35,10 @@ func (h *mpxHandler) Init(v *congest.Vertex) {
 	// and β arrive via closure-initialized fields (set before Init).
 }
 
-// mpxMessage: (center, int part, frac part). Decoded value in milli-units.
-func mpxEncode(center int, milli int64) congest.Message {
-	return congest.Message{int64(center), milli / mpxScale, milli % mpxScale}
+// mpxBroadcast floods the (center, int part, frac part) offer to all
+// neighbors through the vertex's arena; values travel in milli-units.
+func mpxBroadcast(v *congest.Vertex, center int, milli int64) {
+	v.BroadcastWords(int64(center), milli/mpxScale, milli%mpxScale)
 }
 
 func mpxDecode(m congest.Message) (center int, milli int64) {
@@ -63,7 +64,7 @@ func (h *mpxHandler) Round(v *congest.Vertex, round int, recv []congest.Incoming
 	}
 	if h.improved {
 		h.improved = false
-		v.Broadcast(mpxEncode(int(h.bestCenter), h.bestMilli))
+		mpxBroadcast(v, int(h.bestCenter), h.bestMilli)
 	}
 	if round >= h.budget {
 		v.SetOutput(int(h.bestCenter))
@@ -102,7 +103,7 @@ func MPX(g *graph.Graph, cfg congest.Config, beta float64) (MPXResult, congest.M
 		}
 		return congest.RunFuncs{
 			InitFn: func(v *congest.Vertex) {
-				v.Broadcast(mpxEncode(int(h.bestCenter), h.bestMilli))
+				mpxBroadcast(v, int(h.bestCenter), h.bestMilli)
 			},
 			RoundFn: h.Round,
 		}

@@ -176,9 +176,11 @@ func nibbleCarve(g *graph.Graph, cfg congest.Config, carved []bool, threshold fl
 				keep := (s.r - int64(alpha*float64(s.r))) / 2
 				share := keep / deg
 				s.r = keep - share*deg + (s.r - int64(alpha*float64(s.r)) - keep) // remainder stays
+				push := v.MsgBuf(2)
+				push[0], push[1] = 71, share
 				for p := 0; p < v.Degree(); p++ {
 					if !carved[v.NeighborID(p)] {
-						v.Send(p, congest.Message{71, share})
+						v.Send(p, push)
 					}
 				}
 			},

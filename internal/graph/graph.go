@@ -58,6 +58,7 @@ type Graph struct {
 	edges  []Edge
 	weight []int64 // nil when the graph is unweighted
 	sign   []int8  // nil when the graph is unsigned; otherwise +1 or -1 per edge
+	maxDeg int     // cached max degree, computed once at build time
 }
 
 // N returns the number of vertices.
@@ -69,16 +70,10 @@ func (g *Graph) M() int { return len(g.edges) }
 // Degree returns the degree of vertex v.
 func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
 
-// MaxDegree returns the maximum vertex degree (0 for an empty graph).
-func (g *Graph) MaxDegree() int {
-	max := 0
-	for v := 0; v < g.n; v++ {
-		if d := len(g.adj[v]); d > max {
-			max = d
-		}
-	}
-	return max
-}
+// MaxDegree returns the maximum vertex degree (0 for an empty graph). The
+// value is computed once when the Builder finalizes the graph, so this is
+// O(1).
+func (g *Graph) MaxDegree() int { return g.maxDeg }
 
 // MinDegree returns the minimum vertex degree, or 0 for an empty graph.
 func (g *Graph) MinDegree() int {
@@ -224,7 +219,7 @@ func (g *Graph) EdgeDensity() float64 {
 
 // Clone returns a deep copy of g.
 func (g *Graph) Clone() *Graph {
-	cp := &Graph{n: g.n}
+	cp := &Graph{n: g.n, maxDeg: g.maxDeg}
 	cp.adj = make([][]halfEdge, g.n)
 	for v := range g.adj {
 		cp.adj[v] = append([]halfEdge(nil), g.adj[v]...)
@@ -361,6 +356,9 @@ func (b *Builder) Graph() *Graph {
 	}
 	for v := range g.adj {
 		g.adj[v] = make([]halfEdge, 0, deg[v])
+		if deg[v] > g.maxDeg {
+			g.maxDeg = deg[v]
+		}
 	}
 	for idx, e := range g.edges {
 		g.adj[e.U] = append(g.adj[e.U], halfEdge{to: e.V, idx: idx})

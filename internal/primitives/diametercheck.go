@@ -65,7 +65,7 @@ func (h *diamCheckHandler) Round(v *congest.Vertex, round int, recv []congest.In
 				}
 			}
 		}
-		h.sendSame(v, congest.Message{h.maxSeen})
+		h.sendSame(v, h.maxSeen)
 	case pr == h.b+1:
 		// Absorb the last flood round, then share the final value.
 		for _, in := range recv {
@@ -73,7 +73,7 @@ func (h *diamCheckHandler) Round(v *congest.Vertex, round int, recv []congest.In
 				h.maxSeen = in.Msg[0]
 			}
 		}
-		h.sendSame(v, congest.Message{h.maxSeen})
+		h.sendSame(v, h.maxSeen)
 	case pr == h.b+2:
 		for _, in := range recv {
 			if len(in.Msg) == 1 && in.Msg[0] != h.maxSeen {
@@ -81,13 +81,13 @@ func (h *diamCheckHandler) Round(v *congest.Vertex, round int, recv []congest.In
 			}
 		}
 		if h.marked {
-			h.sendSame(v, congest.Message{1})
+			h.sendSame(v, 1)
 		}
 	case pr <= 3*h.b+3:
 		for _, in := range recv {
 			if len(in.Msg) == 1 && in.Msg[0] == 1 && !h.marked {
 				h.marked = true
-				h.sendSame(v, congest.Message{1})
+				h.sendSame(v, 1)
 			}
 		}
 	default:

@@ -131,9 +131,11 @@ func (h *orientHandler) Round(v *congest.Vertex, round int, recv []congest.Incom
 	if pr%2 == 1 {
 		h.phase++
 		if h.active && len(h.activePorts) <= 4*h.density {
+			peel := v.MsgBuf(1)
+			peel[0] = orientMsgPeel
 			for p := range h.activePorts {
 				h.ownedPorts = append(h.ownedPorts, p)
-				v.Send(p, congest.Message{orientMsgPeel})
+				v.Send(p, peel)
 			}
 			h.active = false
 		}

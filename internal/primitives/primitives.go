@@ -71,7 +71,7 @@ type clusterBase struct {
 }
 
 func (b *clusterBase) Init(v *congest.Vertex) {
-	v.Broadcast(congest.Message{int64(b.clusterID)})
+	v.BroadcastWords(int64(b.clusterID))
 }
 
 // absorb processes the round-1 ID exchange; returns true once ready and the
@@ -89,10 +89,18 @@ func (b *clusterBase) absorb(v *congest.Vertex, round int, recv []congest.Incomi
 	return round - 1, true
 }
 
-// sendSame sends msg to every same-cluster neighbor.
-func (b *clusterBase) sendSame(v *congest.Vertex, msg congest.Message) {
+// sendSame sends one message carrying words to every same-cluster neighbor.
+// All receivers share one arena-backed buffer (received messages are
+// read-only and expire when the receiver's Round returns), so a flood step
+// costs no allocations regardless of degree.
+func (b *clusterBase) sendSame(v *congest.Vertex, words ...int64) {
+	if len(b.samePorts) == 0 {
+		return
+	}
+	buf := v.MsgBuf(len(words))
+	copy(buf, words)
 	for _, p := range b.samePorts {
-		v.Send(p, msg.Clone())
+		v.Send(p, buf)
 	}
 }
 
@@ -128,7 +136,7 @@ func (h *bfsHandler) Round(v *congest.Vertex, round int, recv []congest.Incoming
 	}
 	if pr == 1 && h.isRoot && !h.sent {
 		h.sent = true
-		h.sendSame(v, congest.Message{int64(v.ID()), 0})
+		h.sendSame(v, int64(v.ID()), 0)
 	} else if h.dist == -1 {
 		for _, in := range recv {
 			if len(in.Msg) < 2 {
@@ -138,7 +146,7 @@ func (h *bfsHandler) Round(v *congest.Vertex, round int, recv []congest.Incoming
 			h.parent = in.From
 			h.root = int(in.Msg[0])
 			h.sent = true
-			h.sendSame(v, congest.Message{in.Msg[0], int64(h.dist)})
+			h.sendSame(v, in.Msg[0], int64(h.dist))
 			break
 		}
 	}
@@ -215,7 +223,7 @@ func (h *leaderHandler) Round(v *congest.Vertex, round int, recv []congest.Incom
 	}
 	if h.changed {
 		h.changed = false
-		h.sendSame(v, congest.Message{int64(h.bestDeg), int64(h.bestID)})
+		h.sendSame(v, int64(h.bestDeg), int64(h.bestID))
 	}
 	if pr >= h.budget {
 		v.SetOutput([2]int{h.bestID, h.bestDeg})
@@ -276,14 +284,14 @@ func (h *floodValueHandler) Round(v *congest.Vertex, round int, recv []congest.I
 	}
 	if pr == 1 && h.has {
 		h.queued = true
-		h.sendSame(v, congest.Message{h.value})
+		h.sendSame(v, h.value)
 	}
 	if !h.has {
 		for _, in := range recv {
 			if len(in.Msg) == 1 {
 				h.has = true
 				h.value = in.Msg[0]
-				h.sendSame(v, congest.Message{h.value})
+				h.sendSame(v, h.value)
 				break
 			}
 		}
@@ -382,7 +390,7 @@ func (h *convergecastHandler) Round(v *congest.Vertex, round int, recv []congest
 	if !h.sentUp && h.childWait == 0 && h.parent >= 0 && !h.isRoot {
 		p := v.PortOf(h.parent)
 		if p >= 0 {
-			v.Send(p, congest.Message{h.acc})
+			v.SendWords(p, h.acc)
 		}
 		h.sentUp = true
 	}

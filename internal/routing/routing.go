@@ -120,6 +120,7 @@ type routeHandler struct {
 	isLeader     bool
 	samePorts    []int
 	queue        []Token // tokens currently held (forward phase)
+	portStamp    []int   // portStamp[p] == pr marks port p used this round
 	visits       map[[2]int][]visit
 	absorbed     []Token // leader only
 	absorbLog    map[[2]int]visit
@@ -133,7 +134,7 @@ type routeHandler struct {
 func key(t Token) [2]int { return [2]int{t.Origin, t.Seq} }
 
 func (h *routeHandler) Init(v *congest.Vertex) {
-	v.Broadcast(congest.Message{int64(h.plan.Cluster[v.ID()])})
+	v.BroadcastWords(int64(h.plan.Cluster[v.ID()]))
 }
 
 func (h *routeHandler) Round(v *congest.Vertex, round int, recv []congest.Incoming) {
@@ -186,8 +187,12 @@ func (h *routeHandler) forwardStep(v *congest.Vertex, pr int) {
 	if len(h.queue) == 0 || len(h.samePorts) == 0 {
 		return
 	}
-	usedPort := make(map[int]bool)
-	var stay []Token
+	if h.portStamp == nil {
+		h.portStamp = make([]int, v.Degree())
+	}
+	// Compact waiting tokens in place: the write index never overtakes the
+	// read index, so the queue backing array is reused round after round.
+	stay := h.queue[:0]
 	for _, tok := range h.queue {
 		var port int
 		switch h.plan.Strategy {
@@ -207,13 +212,13 @@ func (h *routeHandler) forwardStep(v *congest.Vertex, pr int) {
 		default:
 			panic(fmt.Sprintf("routing: unknown strategy %d", h.plan.Strategy))
 		}
-		if usedPort[port] {
+		if h.portStamp[port] == pr {
 			// Edge busy this round: wait (counts as a lazy step).
 			stay = append(stay, tok)
 			continue
 		}
-		usedPort[port] = true
-		v.Send(port, congest.Message{kindForward, int64(tok.Origin), int64(tok.Seq), tok.A, tok.B})
+		h.portStamp[port] = pr
+		v.SendWords(port, kindForward, int64(tok.Origin), int64(tok.Seq), tok.A, tok.B)
 	}
 	h.queue = stay
 }
@@ -266,10 +271,10 @@ func (h *routeHandler) flushReverse(v *congest.Vertex, pr int) {
 	if len(h.reverse) == 0 {
 		return
 	}
-	var keep []pendingSend
+	keep := h.reverse[:0]
 	for _, ps := range h.reverse {
 		if ps.round == pr {
-			v.Send(ps.port, congest.Message{kindReverse, int64(ps.tok.Origin), int64(ps.tok.Seq), ps.tok.A, ps.tok.B})
+			v.SendWords(ps.port, kindReverse, int64(ps.tok.Origin), int64(ps.tok.Seq), ps.tok.A, ps.tok.B)
 		} else {
 			keep = append(keep, ps)
 		}

@@ -2,6 +2,7 @@ package solvers
 
 import (
 	"math/rand"
+	"sort"
 
 	"expandergap/internal/graph"
 )
@@ -203,9 +204,17 @@ func chopPiece(g *graph.Graph, piece []int, width int, rng *rand.Rand) [][]int {
 			b := (dist[v] + offset) / width
 			bands[b] = append(bands[b], v)
 		}
-		for _, members := range bands {
+		// Emit bands in ascending index order: the piece order feeds the
+		// next chopping round's rng draws, so map-iteration order here
+		// would make the whole decomposition nondeterministic.
+		idx := make([]int, 0, len(bands))
+		for b := range bands {
+			idx = append(idx, b)
+		}
+		sort.Ints(idx)
+		for _, b := range idx {
 			// Split each band into connected components.
-			out = append(out, connectedParts(g, members)...)
+			out = append(out, connectedParts(g, bands[b])...)
 		}
 	}
 	return out
