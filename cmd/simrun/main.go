@@ -7,9 +7,16 @@
 //	simrun -algo maxis|mcm|mwm|corrclust|ldd|proptest|luby|greedy|pivot|mpx
 //	       [-family grid|trigrid|torus|planar|tree] [-n 64] [-eps 0.25] [-seed 1]
 //	       [-workers 4] [-cpuprofile cpu.prof] [-memprofile mem.prof]
+//	       [-trace out.jsonl] [-report out.json] [-phases]
+//
+// -trace streams one JSONL event per simulated round (round, phase stack,
+// active vertices, messages, words, bits); -report writes the phase tree
+// with per-phase totals and message-size histograms as JSON; -phases prints
+// the same tree as a table on stdout.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"math"
@@ -43,6 +50,9 @@ func main() {
 	workersFlag := flag.Int("workers", 0, "parallel simulator workers (0 = sequential)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	traceFlag := flag.String("trace", "", "write a per-round JSONL trace to this file")
+	reportFlag := flag.String("report", "", "write the phase-tree report JSON to this file")
+	phasesFlag := flag.Bool("phases", false, "print the phase tree after the run")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -76,6 +86,24 @@ func main() {
 	rng := rand.New(rand.NewSource(*seedFlag))
 	g := buildGraph(*familyFlag, *nFlag, rng)
 	cfg := congest.Config{Seed: *seedFlag, FaultRate: *faultFlag, Workers: *workersFlag}
+
+	var obs *congest.Observer
+	var traceFile *os.File
+	var traceBuf *bufio.Writer
+	if *traceFlag != "" || *reportFlag != "" || *phasesFlag {
+		obs = congest.NewObserver()
+		cfg.Obs = obs
+		if *traceFlag != "" {
+			f, ferr := os.Create(*traceFlag)
+			if ferr != nil {
+				fmt.Fprintf(os.Stderr, "simrun: %v\n", ferr)
+				os.Exit(1)
+			}
+			traceFile = f
+			traceBuf = bufio.NewWriterSize(f, 1<<20)
+			obs.EnableTrace(traceBuf, 4096)
+		}
+	}
 	coreOpts := core.Options{Deterministic: *detFlag}
 	if *distFlag {
 		coreOpts.Decomposer = core.DistributedDecomposer
@@ -172,6 +200,29 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "simrun: unknown algorithm %q\n", *algoFlag)
 		os.Exit(2)
+	}
+	// Flush observability outputs even when the run failed: a partial trace
+	// is exactly what a failed run needs.
+	if traceBuf != nil {
+		if ferr := obs.Flush(); ferr != nil {
+			fmt.Fprintf(os.Stderr, "simrun: trace: %v\n", ferr)
+		}
+		if ferr := traceBuf.Flush(); ferr != nil {
+			fmt.Fprintf(os.Stderr, "simrun: trace: %v\n", ferr)
+		}
+		traceFile.Close()
+	}
+	if *reportFlag != "" {
+		data, merr := obs.Report().MarshalIndentJSON()
+		if merr == nil {
+			merr = os.WriteFile(*reportFlag, append(data, '\n'), 0o644)
+		}
+		if merr != nil {
+			fmt.Fprintf(os.Stderr, "simrun: report: %v\n", merr)
+		}
+	}
+	if *phasesFlag {
+		fmt.Print(obs.Report().String())
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "simrun: %v\n", err)

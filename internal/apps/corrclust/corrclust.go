@@ -1,16 +1,3 @@
-// Package corrclust implements Theorem 1.3 of the paper: a (1-ε)-approximate
-// agreement-maximization correlation clustering of an H-minor-free signed
-// network in the CONGEST model.
-//
-// Following §3.3, the framework runs with ε' = ε/2, each cluster leader
-// computes an (optimal, for cluster sizes within the exact solver's reach)
-// correlation clustering of its gathered signed topology, and the union of
-// per-cluster clusterings is returned. Inter-cluster edges lose at most
-// ε'·|E| ≤ ε·γ(G) agreement (γ(G) ≥ |E|/2 on connected graphs), giving the
-// (1-ε) bound.
-//
-// Cluster labels are globally disambiguated by encoding them as
-// leader·n + local label, which fits one CONGEST word.
 package corrclust
 
 import (
@@ -105,6 +92,8 @@ func DistributedPivot(g *graph.Graph, cfg congest.Config) ([]int, congest.Metric
 		label    int
 		priority int64
 	}
+	cfg.Obs.BeginPhase("pivot")
+	defer cfg.Obs.EndPhase()
 	sim := congest.NewSimulator(g, cfg)
 	res, err := sim.Run(func(v *congest.Vertex) congest.Handler {
 		s := &state{label: -1}

@@ -1,0 +1,17 @@
+// Package corrclust implements Theorem 1.3 of the paper: a (1-ε)-approximate
+// agreement-maximization correlation clustering of an H-minor-free signed
+// network in the CONGEST model.
+//
+// Following §3.3, the framework runs with ε' = ε/2, each cluster leader
+// computes an (optimal, for cluster sizes within the exact solver's reach)
+// correlation clustering of its gathered signed topology, and the union of
+// per-cluster clusterings is returned. Inter-cluster edges lose at most
+// ε'·|E| ≤ ε·γ(G) agreement (γ(G) ≥ |E|/2 on connected graphs), giving the
+// (1-ε) bound.
+//
+// Cluster labels are globally disambiguated by encoding them as
+// leader·n + local label, which fits one CONGEST word.
+//
+// When a congest.Observer is attached, the Pivot baseline reports under
+// the named phase "pivot", alongside the framework's own phases.
+package corrclust

@@ -1,17 +1,3 @@
-// Package ldd implements Theorem 1.5 of the paper: an (ε, D) low-diameter
-// decomposition with the optimal D = O(ε⁻¹) on H-minor-free networks in the
-// CONGEST model.
-//
-// Per §3.5, the framework first runs the expander decomposition with
-// ε̃ = ε/2; each cluster leader then refines its gathered cluster topology
-// with a sequential low-diameter decomposition (KPR-style chopping with
-// D̃ = O(ε̃⁻¹)) and disseminates refined labels. The total number of
-// inter-cluster edges is at most ε|E|/2 + ε|E|/2 = ε|E| and every final
-// cluster has diameter O(ε⁻¹).
-//
-// The distributed MPX exponential-shift clustering (internal/expander.MPX)
-// is the baseline: it achieves D = O(log n / ε) — the inverse-polynomial
-// dependence the paper improves on.
 package ldd
 
 import (

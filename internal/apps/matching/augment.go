@@ -44,6 +44,8 @@ func ThreeAugment(g *graph.Graph, cfg congest.Config, start []int, phases int) (
 		offerPort int // port that offer came from
 		relayed   int // partner's offer (vertex ID), -1 none
 	}
+	cfg.Obs.BeginPhase("augment")
+	defer cfg.Obs.EndPhase()
 	sim := congest.NewSimulator(g, cfg)
 	res, err := sim.Run(func(v *congest.Vertex) congest.Handler {
 		s := &state{mate: start[v.ID()], offerTo: -1, gotOffer: -1, relayed: -1}

@@ -1,0 +1,24 @@
+// Package matching implements Theorem 3.2 (planar (1-ε)-approximate maximum
+// cardinality matching) and the Theorem 1.1 maximum-weight-matching variant
+// on H-minor-free networks.
+//
+// The MCM pipeline follows §3.2: first eliminate 2-stars and 3-double-stars
+// with the token/bounce protocol of Czygrinow–Hańćkowiak–Szymańska (run here
+// as genuine message passing), which preserves the maximum matching size
+// while guaranteeing OPT = Ω(n) on the remaining planar graph (Lemma 3.1);
+// then run the framework with per-cluster exact matching (Edmonds' blossom
+// at the leader) and take the union. Cluster matchings never conflict, and
+// the union loses at most the ε'·n inter-cluster OPT edges.
+//
+// For MWM, cluster leaders solve exact maximum weight matching (falling back
+// to scaling for very large clusters). The paper's full weighted machinery
+// (embedding the decomposition into Duan–Pettie's scaling algorithm) is
+// substituted by this per-cluster-exact variant; see DESIGN.md. A
+// propose-accept distributed greedy matcher provides the ½-approximation
+// baseline.
+//
+// When a congest.Observer is attached, this package's stages appear as
+// the named phases "star-elimination" (§3.2 preprocessing),
+// "greedy-matching" (the propose-accept baseline), and "augment" (the
+// 3-augmentation walk phases), alongside the framework's own phases.
+package matching

@@ -1,21 +1,3 @@
-// Package matching implements Theorem 3.2 (planar (1-ε)-approximate maximum
-// cardinality matching) and the Theorem 1.1 maximum-weight-matching variant
-// on H-minor-free networks.
-//
-// The MCM pipeline follows §3.2: first eliminate 2-stars and 3-double-stars
-// with the token/bounce protocol of Czygrinow–Hańćkowiak–Szymańska (run here
-// as genuine message passing), which preserves the maximum matching size
-// while guaranteeing OPT = Ω(n) on the remaining planar graph (Lemma 3.1);
-// then run the framework with per-cluster exact matching (Edmonds' blossom
-// at the leader) and take the union. Cluster matchings never conflict, and
-// the union loses at most the ε'·n inter-cluster OPT edges.
-//
-// For MWM, cluster leaders solve exact maximum weight matching (falling back
-// to scaling for very large clusters). The paper's full weighted machinery
-// (embedding the decomposition into Duan–Pettie's scaling algorithm) is
-// substituted by this per-cluster-exact variant; see DESIGN.md. A
-// propose-accept distributed greedy matcher provides the ½-approximation
-// baseline.
 package matching
 
 import (
@@ -64,6 +46,8 @@ func (r *Result) Weight(g *graph.Graph) int64 { return solvers.MatchingWeight(g,
 // vertex sends its neighbor pair to the smaller neighbor, which keeps two
 // per pair and bounces the rest.
 func EliminateStars(g *graph.Graph, cfg congest.Config) ([]bool, congest.Metrics, error) {
+	cfg.Obs.BeginPhase("star-elimination")
+	defer cfg.Obs.EndPhase()
 	sim := congest.NewSimulator(g, cfg)
 	res, err := sim.Run(func(v *congest.Vertex) congest.Handler {
 		removed := false
@@ -260,6 +244,8 @@ func DistributedGreedy(g *graph.Graph, cfg congest.Config) (*Result, congest.Met
 		bestPort  int
 		weights   []int64 // per-port edge weights (local knowledge)
 	}
+	cfg.Obs.BeginPhase("greedy-matching")
+	defer cfg.Obs.EndPhase()
 	sim := congest.NewSimulator(g, cfg)
 	res, err := sim.Run(func(v *congest.Vertex) congest.Handler {
 		s := &state{mate: -1, dead: make(map[int]bool), proposeTo: -1}

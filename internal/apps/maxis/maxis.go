@@ -1,14 +1,3 @@
-// Package maxis implements Theorem 1.2 of the paper: a (1-ε)-approximate
-// maximum independent set on H-minor-free networks in the CONGEST model.
-//
-// The algorithm is §3.1 verbatim: run the framework with parameter
-// ε' = ε/(2d+1) (d the edge-density bound), let every cluster leader compute
-// a maximum independent set of its gathered cluster topology, disseminate
-// membership bits, and resolve conflicts on inter-cluster edges by dropping
-// one endpoint (the set Z of the paper; |Z| ≤ ε'·n ≤ ε·α(G)).
-//
-// Luby's classic distributed maximal independent set is included as the
-// (1/Δ)-approximation baseline the paper compares against.
 package maxis
 
 import (
@@ -104,6 +93,8 @@ func Approximate(g *graph.Graph, opts Options) (*Result, error) {
 // membership; a member adjacent to a higher-ID member leaves the set.
 // Returns the number of dropped vertices. Mutates inSet.
 func resolveConflicts(g *graph.Graph, cfg congest.Config, inSet []bool) (int, congest.Metrics, error) {
+	cfg.Obs.BeginPhase("conflict-resolution")
+	defer cfg.Obs.EndPhase()
 	sim := congest.NewSimulator(g, cfg)
 	res, err := sim.Run(func(v *congest.Vertex) congest.Handler {
 		return congest.RunFuncs{
@@ -150,6 +141,8 @@ func LubyMIS(g *graph.Graph, cfg congest.Config) ([]int, congest.Metrics, error)
 		inMIS    bool
 		priority int64
 	}
+	cfg.Obs.BeginPhase("luby")
+	defer cfg.Obs.EndPhase()
 	sim := congest.NewSimulator(g, cfg)
 	res, err := sim.Run(func(v *congest.Vertex) congest.Handler {
 		s := &state{active: true}

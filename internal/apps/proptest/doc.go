@@ -1,0 +1,24 @@
+// Package proptest implements Theorem 1.4 of the paper: distributed
+// property testing, in the CONGEST model, of any minor-closed graph property
+// that is closed under taking disjoint union (planarity being the flagship).
+//
+// The algorithm is §3.4 verbatim. Pick s, the smallest clique size not in
+// the property, and run the framework assuming the network is K_s-minor-
+// free. Each cluster leader checks its gathered cluster topology against the
+// property and floods Accept/Reject. The failure analysis of §2.3 maps to
+// outputs exactly as the paper prescribes:
+//
+//   - a cluster whose leader finds a property violation → all its vertices
+//     Reject;
+//   - a cluster failing the Lemma 2.3 degree condition (possible only when
+//     the network is not K_s-minor-free) → Reject;
+//   - any other failure (routing loss) → Accept, keeping one-sided error:
+//     a graph with the property is never rejected.
+//
+// ε-farness in tests comes from certifiable constructions: a disjoint union
+// of k copies of a forbidden clique needs at least one edge edit per copy to
+// gain the property, so it is ε-far for ε ≤ k/|E|.
+//
+// Test runs entirely through the framework, so with a congest.Observer
+// attached it reports the standard framework phase tree.
+package proptest

@@ -1,55 +1,3 @@
-// Package congest implements a synchronous message-passing simulator for the
-// LOCAL and CONGEST models of distributed computing, the execution substrate
-// for every distributed algorithm in this repository.
-//
-// Model semantics follow the paper's Section 1: vertices host processors and
-// operate in synchronized rounds; in each round every vertex may send one
-// message to each of its neighbors, receives the messages its neighbors sent
-// this round, and performs arbitrary local computation. In the LOCAL model
-// messages are unbounded; in the CONGEST model each message is limited to
-// O(log n) bits.
-//
-// Messages are tuples of integer words. In CONGEST mode a message may carry
-// at most Config.MaxWords words and each word must satisfy |w| ≤ max(n², 2¹⁶)
-// — i.e. a word is Θ(log n) bits — so a message is Θ(log n) bits total.
-// Violations panic: an algorithm that breaks the model is a programming
-// error, not a runtime condition.
-//
-// Execution is deterministic given Config.Seed: every vertex receives its own
-// seeded PRNG stream, each inbox lists arrivals in ascending sender-ID order,
-// and fault-injection coins are pure hashes of (seed, round, sender,
-// receiver). Because handler randomness is per-vertex and inbox order is
-// canonical, the execution order of vertices within a round cannot be
-// observed by a (well-formed) handler — which is what makes the parallel
-// executor below exact.
-//
-// Setting Config.Workers > 0 shards each round's delivery and compute phases
-// across a pool of worker goroutines (vertices partitioned into contiguous
-// ID ranges) with per-vertex metric shards merged at the round barrier. The
-// parallel executor is bit-for-bit equivalent to the sequential path for a
-// fixed seed. The one extra requirement it places on handlers: handlers of
-// different vertices must not share mutable state (per-vertex state, as the
-// model prescribes, is always safe; the test-only pattern of closing over a
-// shared counter is not).
-//
-// A run ends when every vertex has halted and every queued message has been
-// delivered: sends queued in a vertex's final round still cost (and are
-// accounted as) one delivery round, per the documented Halt contract.
-//
-// # Memory layout and message arenas
-//
-// The steady-state round loop is allocation-free (see DESIGN.md §3.8). The
-// vertex table is stored CSR-style: one value slice of Vertex records whose
-// ports, reverse ports, outbox slots, and inbox slots are contiguous
-// sub-slices of four shared flat arrays, built once per Simulator and reused
-// across Run calls. Handlers that need per-round message buffers should use
-// Vertex.MsgBuf (or the SendWords/BroadcastWords conveniences), which
-// recycles a per-vertex double-buffered arena instead of allocating.
-//
-// Arena lifetime contract: a Message received in a Round call is valid only
-// until that Round call returns. Handlers that retain a message across
-// rounds must Clone it. Messages built by MsgBuf in round r are reclaimed in
-// round r+2, strictly after every receiver has finished reading them.
 package congest
 
 import (
@@ -114,6 +62,14 @@ type Config struct {
 	// bit-for-bit identical across all Workers values for a fixed Seed,
 	// provided handlers keep their state per-vertex (see the package doc).
 	Workers int
+	// Obs, when non-nil, receives phase-attributed per-round accounting
+	// (and, if enabled on the Observer, a JSONL trace stream). The observer
+	// is passive: it never affects message contents, PRNG streams, or
+	// termination, so outputs and Metrics are identical with or without it.
+	// Several simulators may share one Observer; a pipeline that chains
+	// them accumulates a single coherent phase tree. See trace.go and
+	// DESIGN.md §3.9.
+	Obs *Observer
 }
 
 func (c Config) withDefaults() Config {
@@ -163,6 +119,9 @@ type vertexMetrics struct {
 	words    int64
 	maxWords int
 	halts    int
+	// hist counts this shard's sends by message-size bucket. Maintained
+	// only when an Observer is attached (Send gates on sim.obs != nil).
+	hist [histBuckets]int64
 }
 
 // msgArena is one half of a vertex's double-buffered message arena. Buffers
@@ -292,6 +251,9 @@ func (v *Vertex) Send(port int, msg Message) {
 	if len(msg) > v.local.maxWords {
 		v.local.maxWords = len(msg)
 	}
+	if v.sim.obs != nil {
+		v.local.hist[histBucket(len(msg))]++
+	}
 	v.sim.checkMessage(v.id, msg)
 	if len(msg) == 0 {
 		// Distinguish "send empty message" from "no send".
@@ -420,6 +382,15 @@ type Simulator struct {
 	metrics Metrics
 	wordCap int64
 
+	// Observability (nil when Config.Obs is unset; see trace.go). roundHist
+	// and roundMax collect the current round's message-size histogram and
+	// largest message from the vertex shards at the barrier; recordRound
+	// drains them. wordBits caches BitsPerWord(n) for bit attribution.
+	obs       *Observer
+	wordBits  int
+	roundHist [histBuckets]int64
+	roundMax  int
+
 	// O(1) termination tracking (DESIGN.md §3.8): haltedCount is the number
 	// of vertices that have halted, pendingMsgs the number of messages
 	// queued by the most recent Init/compute phase. Both are maintained
@@ -454,7 +425,7 @@ func NewSimulator(g *graph.Graph, cfg Config) *Simulator {
 	if wordCap < 1<<16 {
 		wordCap = 1 << 16
 	}
-	return &Simulator{g: g, cfg: cfg, wordCap: wordCap}
+	return &Simulator{g: g, cfg: cfg, wordCap: wordCap, obs: cfg.Obs, wordBits: BitsPerWord(g.N())}
 }
 
 // Graph returns the underlying network graph (for harness code; handlers
@@ -561,6 +532,16 @@ func (s *Simulator) mergeShards() {
 		if v.local.maxWords > s.metrics.MaxWordsPerMsg {
 			s.metrics.MaxWordsPerMsg = v.local.maxWords
 		}
+		if s.obs != nil && v.local.messages != 0 {
+			if v.local.maxWords > s.roundMax {
+				s.roundMax = v.local.maxWords
+			}
+			for b, c := range v.local.hist {
+				if c != 0 {
+					s.roundHist[b] += c
+				}
+			}
+		}
 		v.local = vertexMetrics{}
 	}
 	s.pendingMsgs = phaseSends
@@ -606,6 +587,10 @@ type Execution struct {
 	closed    bool
 	deliverFn func(lo, hi int)
 	computeFn func(lo, hi int)
+	// obsPrev is the metrics snapshot at the previous round barrier; the
+	// delta against it is what Step attributes to the observer's current
+	// phase. Sends queued during Init are included in round 1's delta.
+	obsPrev Metrics
 }
 
 // Start resets the Simulator's run state, constructs one handler per vertex
@@ -623,6 +608,8 @@ func (s *Simulator) Start(newHandler func(v *Vertex) Handler) *Execution {
 	s.haltedCount = 0
 	s.pendingMsgs = 0
 	s.curRound = 0
+	s.roundHist = [histBuckets]int64{}
+	s.roundMax = 0
 	for i := range s.verts {
 		v := &s.verts[i]
 		v.halted = false
@@ -699,8 +686,28 @@ func (e *Execution) Step() (done bool, err error) {
 	s.metrics.Rounds++
 	e.runPhase(e.computeFn)
 	s.mergeShards()
+	if s.obs != nil {
+		m := s.metrics
+		s.obs.recordRound(
+			s.g.N()-s.haltedCount,
+			m.Messages-e.obsPrev.Messages,
+			m.Words-e.obsPrev.Words,
+			s.roundMax, s.wordBits, &s.roundHist)
+		s.roundMax = 0
+		e.obsPrev = m
+	}
 	return false, nil
 }
+
+// BeginPhase opens a named observer phase nested inside the current one;
+// rounds executed by subsequent Step calls (on this or any other Execution
+// sharing the Observer) are attributed to it. Call it between rounds, never
+// from inside a Handler. A no-op when no Observer is configured.
+func (e *Execution) BeginPhase(name string) { e.s.obs.BeginPhase(name) }
+
+// EndPhase closes the innermost open observer phase. A no-op when no
+// Observer is configured.
+func (e *Execution) EndPhase() { e.s.obs.EndPhase() }
 
 // Metrics returns the metrics accumulated so far (exact at every round
 // barrier).

@@ -1,0 +1,97 @@
+// Package congest implements a synchronous message-passing simulator for the
+// LOCAL and CONGEST models of distributed computing, the execution substrate
+// for every distributed algorithm in this repository.
+//
+// Model semantics follow the paper's Section 1: vertices host processors and
+// operate in synchronized rounds; in each round every vertex may send one
+// message to each of its neighbors, receives the messages its neighbors sent
+// this round, and performs arbitrary local computation. In the LOCAL model
+// messages are unbounded; in the CONGEST model each message is limited to
+// O(log n) bits.
+//
+// Messages are tuples of integer words. In CONGEST mode a message may carry
+// at most Config.MaxWords words and each word must satisfy |w| ≤ max(n², 2¹⁶)
+// — i.e. a word is Θ(log n) bits — so a message is Θ(log n) bits total.
+// Violations panic: an algorithm that breaks the model is a programming
+// error, not a runtime condition.
+//
+// Execution is deterministic given Config.Seed: every vertex receives its own
+// seeded PRNG stream, each inbox lists arrivals in ascending sender-ID order,
+// and fault-injection coins are pure hashes of (seed, round, sender,
+// receiver). Because handler randomness is per-vertex and inbox order is
+// canonical, the execution order of vertices within a round cannot be
+// observed by a (well-formed) handler — which is what makes the parallel
+// executor below exact.
+//
+// Setting Config.Workers > 0 shards each round's delivery and compute phases
+// across a pool of worker goroutines (vertices partitioned into contiguous
+// ID ranges) with per-vertex metric shards merged at the round barrier. The
+// parallel executor is bit-for-bit equivalent to the sequential path for a
+// fixed seed. The one extra requirement it places on handlers: handlers of
+// different vertices must not share mutable state (per-vertex state, as the
+// model prescribes, is always safe; the test-only pattern of closing over a
+// shared counter is not).
+//
+// A run ends when every vertex has halted and every queued message has been
+// delivered: sends queued in a vertex's final round still cost (and are
+// accounted as) one delivery round, per the documented Halt contract.
+//
+// # Execution lifecycle
+//
+// An algorithm is a Handler constructed once per vertex. The simplest entry
+// point runs it to completion:
+//
+//	sim := congest.NewSimulator(g, congest.Config{Seed: 1})
+//	res, err := sim.Run(newHandler)
+//
+// Run is a thin wrapper over the three-stage Execution API, which harness
+// code uses when it needs control between rounds (early stopping, phase
+// annotation, interleaving with other work):
+//
+//	e := sim.Start(newHandler) // resets run state, runs every Init, delivers nothing yet
+//	for {
+//	    done, err := e.Step()  // one synchronized round: deliver, compute, barrier
+//	    if err != nil { ... }  // ErrMaxRounds when Config.MaxRounds is exceeded
+//	    if done { break }      // all vertices halted, all queued messages delivered
+//	}
+//	res := e.Finish()          // collects per-vertex outputs, releases the execution
+//
+// Start panics if a previous execution on the same Simulator is still
+// active; Finish (or Close, which Finish implies and which is safe to defer
+// alongside it) re-arms the Simulator for the next Start. Metrics and Round
+// may be read between Steps and are exact at every round barrier. The warm
+// Step loop performs zero heap allocations (see DESIGN.md §3.8); the
+// substrate benchmarks enforce this.
+//
+// # Memory layout and message arenas
+//
+// The steady-state round loop is allocation-free (see DESIGN.md §3.8). The
+// vertex table is stored CSR-style: one value slice of Vertex records whose
+// ports, reverse ports, outbox slots, and inbox slots are contiguous
+// sub-slices of four shared flat arrays, built once per Simulator and reused
+// across Run calls. Handlers that need per-round message buffers should use
+// Vertex.MsgBuf (or the SendWords/BroadcastWords conveniences), which
+// recycles a per-vertex double-buffered arena instead of allocating.
+//
+// Arena lifetime contract: a Message received in a Round call is valid only
+// until that Round call returns. Handlers that retain a message across
+// rounds must Clone it. Messages built by MsgBuf in round r are reclaimed in
+// round r+2, strictly after every receiver has finished reading them.
+//
+// # Observability
+//
+// Attaching an Observer via Config.Obs turns the end-of-run Metrics
+// aggregate into a per-phase, per-round account (DESIGN.md §3.9). Harness
+// code brackets stages of an algorithm with Execution.BeginPhase /
+// EndPhase (or Observer.BeginPhase directly, around whole Run calls); every
+// executed round — with its messages, words, bits, and a message-size
+// histogram — is attributed to the innermost open phase. Observer.Report
+// serializes the resulting phase tree; Observer.EnableTrace streams one
+// JSONL event per round through a fixed ring buffer.
+//
+// The observer is strictly passive (it cannot change outputs or Metrics),
+// and its cost is budgeted: with an Observer attached but tracing disabled
+// the warm Step loop still performs zero heap allocations per round, and
+// with tracing enabled a steady-state round must stay under 2× its untraced
+// cost — both enforced by tests in this package.
+package congest

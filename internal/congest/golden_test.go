@@ -99,6 +99,60 @@ func TestGoldenDeterminism(t *testing.T) {
 	}
 }
 
+// TestGoldenPhaseTreeDeterminism runs the golden workloads with an Observer
+// attached and pins that (a) the metrics stay bit-identical to the
+// observer-free golden values, and (b) the entire serialized phase tree —
+// names, nesting, per-phase rounds/messages/words/bits and histograms — is
+// byte-identical across the sequential and parallel executors. Phase
+// attribution happens at the round barrier from merged shards, so nothing
+// about it may depend on worker scheduling.
+func TestGoldenPhaseTreeDeterminism(t *testing.T) {
+	var reports [][]byte
+	for _, workers := range []int{0, 4} {
+		g := graph.Grid(16, 16)
+		obs := congest.NewObserver()
+		cfg := congest.Config{Seed: 1, Workers: workers, Obs: obs}
+
+		obs.BeginPhase("flood")
+		res, err := congest.NewSimulator(g, cfg).Run(floodHandler)
+		obs.EndPhase()
+		if err != nil {
+			t.Fatalf("workers=%d flood: %v", workers, err)
+		}
+		m := res.Metrics
+		if m.Rounds != 31 || m.Messages != 960 || m.Words != 960 || m.MaxWordsPerMsg != 1 {
+			t.Errorf("workers=%d observed flood metrics %+v differ from golden", workers, m)
+		}
+
+		lubyCfg := congest.Config{Seed: 7, Workers: workers, Obs: obs}
+		set, lm, err := maxis.LubyMIS(g, lubyCfg) // self-names the "luby" phase
+		if err != nil {
+			t.Fatalf("workers=%d luby: %v", workers, err)
+		}
+		if lm.Rounds != 13 || lm.Messages != 1981 || lm.Words != 5257 || len(set) != 92 {
+			t.Errorf("workers=%d observed luby metrics %+v |set|=%d differ from golden", workers, lm, len(set))
+		}
+
+		rep := obs.Report()
+		if len(rep.Phases) != 2 || rep.Phases[0].Name != "flood" || rep.Phases[1].Name != "luby" {
+			t.Fatalf("workers=%d phase tree children = %+v, want [flood luby]", workers, rep.Phases)
+		}
+		if rep.Phases[0].Rounds != 31 || rep.Phases[1].Rounds != 13 {
+			t.Errorf("workers=%d phase rounds = %d/%d, want 31/13",
+				workers, rep.Phases[0].Rounds, rep.Phases[1].Rounds)
+		}
+		data, err := rep.MarshalIndentJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports = append(reports, data)
+	}
+	if string(reports[0]) != string(reports[1]) {
+		t.Errorf("phase tree differs between Workers=0 and Workers=4:\n--- seq ---\n%s\n--- par ---\n%s",
+			reports[0], reports[1])
+	}
+}
+
 // TestSteadyStateZeroAllocs asserts the sequential round loop is
 // allocation-free once warm: a non-terminating broadcast workload stepped via
 // the Execution API must not allocate per round.

@@ -212,6 +212,9 @@ func run(g *graph.Graph, opts Options, injected *expander.Decomposition, solve L
 	dec := injected
 	var err error
 	if dec == nil {
+		// Sub-phases (mpx, refine) are named by the decomposer itself; the
+		// sequential decomposer is leader-local and contributes zero rounds.
+		opts.Cfg.Obs.BeginPhase("decompose")
 		switch opts.Decomposer {
 		case SequentialDecomposer:
 			dec, err = expander.Decompose(g, epsPrime, expander.Options{Seed: opts.Cfg.Seed})
@@ -223,6 +226,7 @@ func run(g *graph.Graph, opts Options, injected *expander.Decomposition, solve L
 		default:
 			err = fmt.Errorf("core: unknown decomposer %d", opts.Decomposer)
 		}
+		opts.Cfg.Obs.EndPhase()
 		if err != nil {
 			return nil, err
 		}
@@ -325,7 +329,9 @@ func run(g *graph.Graph, opts Options, injected *expander.Decomposition, solve L
 		leaderDegree: leaders.LeaderDegree,
 		infoByLeader: make(map[int]*ClusterInfo),
 	}
+	opts.Cfg.Obs.BeginPhase("gather-solve-disseminate")
 	ex, m, err := routing.ExchangeBatch(g, opts.Cfg, plan, tokens, solveCtx.respond)
+	opts.Cfg.Obs.EndPhase()
 	if err != nil {
 		return nil, err
 	}

@@ -89,6 +89,8 @@ func MPX(g *graph.Graph, cfg congest.Config, beta float64) (MPXResult, congest.M
 	}
 	deltaCap := 4 * math.Log(float64(n)+1) / beta
 	budget := int(math.Ceil(deltaCap)) + 2
+	cfg.Obs.BeginPhase("mpx")
+	defer cfg.Obs.EndPhase()
 	sim := congest.NewSimulator(g, cfg)
 	res, err := sim.Run(func(v *congest.Vertex) congest.Handler {
 		// Exponential sample from the vertex's private PRNG.
@@ -150,6 +152,10 @@ func DistributedDecompose(g *graph.Graph, cfg congest.Config, eps float64) (*Dec
 		Eps:        eps,
 		Phi:        phi,
 	}
+	// Stage 2 is leader-local computation (zero communication rounds); the
+	// phase still appears in reports so the two-stage structure is visible.
+	cfg.Obs.BeginPhase("refine")
+	defer cfg.Obs.EndPhase()
 	for _, members := range mpx.Assignment.Clusters() {
 		sub, toOld := g.InducedSubgraph(members)
 		subDec, derr := Decompose(sub, eps/2, Options{Phi: phi, Seed: cfg.Seed})

@@ -1,0 +1,34 @@
+// Package expander implements (ε, φ) expander decompositions, the engine of
+// the paper's framework (Theorems 2.1, 2.2 and 2.6).
+//
+// An (ε, φ) expander decomposition removes at most an ε fraction of the
+// edges so that every remaining connected component has conductance at least
+// φ. Three constructions are provided:
+//
+//   - Decompose: a sequential recursive sparse-cut decomposition. It plays
+//     the role of the Chang–Saranurak FOCS'20 construction, which this
+//     repository substitutes (see DESIGN.md): the framework only consumes
+//     the (ε, φ) contract, which this decomposer meets with
+//     φ = ε/Θ(log m), matching the existential bound φ = Ω(ε/log n).
+//
+//   - DistributedDecompose: a genuine message-passing construction run on
+//     the CONGEST simulator. It combines Miller–Peng–Xu exponential-shift
+//     clustering (to bound inter-cluster edges) with leader-local expander
+//     refinement of each low-diameter cluster, mirroring how the paper's
+//     framework lets cluster leaders do heavy local computation.
+//
+//   - DistributedNibble: a message-passing PageRank-Nibble decomposer
+//     (Andersen–Chung–Lang push process as real CONGEST communication)
+//     that repeatedly carves sweep-cut clusters; it demonstrates the
+//     nibble approach end-to-end alongside the MPX+refine pipeline.
+//
+// Decomposition.Verify checks the contract against the definitions of
+// Section 2 using exact conductance for small clusters and certified
+// spectral bounds otherwise.
+//
+// When a congest.Observer is attached to the Config, the distributed
+// constructions report their stage structure as named phases:
+// DistributedDecompose as "mpx" and "refine" (refinement is leader-local
+// and contributes zero rounds), DistributedNibble as repeated
+// "elect-leaders" / "push" / "sweep" carve iterations.
+package expander

@@ -1,25 +1,3 @@
-// Package expander implements (ε, φ) expander decompositions, the engine of
-// the paper's framework (Theorems 2.1, 2.2 and 2.6).
-//
-// An (ε, φ) expander decomposition removes at most an ε fraction of the
-// edges so that every remaining connected component has conductance at least
-// φ. Two constructions are provided:
-//
-//   - Decompose: a sequential recursive sparse-cut decomposition. It plays
-//     the role of the Chang–Saranurak FOCS'20 construction, which this
-//     repository substitutes (see DESIGN.md): the framework only consumes
-//     the (ε, φ) contract, which this decomposer meets with
-//     φ = ε/Θ(log m), matching the existential bound φ = Ω(ε/log n).
-//
-//   - DistributedDecompose: a genuine message-passing construction run on
-//     the CONGEST simulator. It combines Miller–Peng–Xu exponential-shift
-//     clustering (to bound inter-cluster edges) with leader-local expander
-//     refinement of each low-diameter cluster, mirroring how the paper's
-//     framework lets cluster leaders do heavy local computation.
-//
-// Decomposition.Verify checks the contract against the definitions of
-// Section 2 using exact conductance for small clusters and certified
-// spectral bounds otherwise.
 package expander
 
 import (

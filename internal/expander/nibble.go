@@ -135,6 +135,7 @@ func nibbleCarve(g *graph.Graph, cfg congest.Config, carved []bool, threshold fl
 		p, r   int64
 		active bool
 	}
+	runCfg.Obs.BeginPhase("push")
 	sim := congest.NewSimulator(g, runCfg)
 	res, err := sim.Run(func(v *congest.Vertex) congest.Handler {
 		s := &pushState{active: !carved[v.ID()]}
@@ -187,9 +188,15 @@ func nibbleCarve(g *graph.Graph, cfg congest.Config, carved []bool, threshold fl
 		}
 	})
 	m1.Add(res.Metrics)
+	runCfg.Obs.EndPhase()
 	if err != nil {
 		return nil, m1, err
 	}
+
+	// The sweep phase is leader-local (zero communication rounds); naming it
+	// keeps the nibble's carve structure visible in phase reports.
+	runCfg.Obs.BeginPhase("sweep")
+	defer runCfg.Obs.EndPhase()
 
 	// Harness-side sweep on the touched set (standing in for the BFS-tree
 	// gather to the seed; the touched set and the decision are both local

@@ -200,14 +200,14 @@ func E3HighDegree(sizes []int, eps float64, seed int64) Outcome {
 
 // E4WalkRouting measures Lemma 2.4: random-walk routing delivers one token
 // per vertex to the cluster leader, with round cost and congestion reported.
-func E4WalkRouting(sizes []int, eps float64, seed int64, workers int) Outcome {
+func E4WalkRouting(sizes []int, eps float64, seed int64, workers int, obs *congest.Observer) Outcome {
 	t := &Table{
 		ID:      "E4",
 		Title:   "lazy-random-walk routing to v* (Lemma 2.4)",
 		Columns: []string{"family", "n", "clusters", "budget", "rounds", "delivered", "undelivered", "max-msg-words"},
 	}
 	rng := rand.New(rand.NewSource(seed))
-	cfg := congest.Config{Seed: seed, Workers: workers}
+	cfg := congest.Config{Seed: seed, Workers: workers, Obs: obs}
 	allDelivered := true
 	congestOK := true
 	for _, fam := range planarFamilies()[:2] { // grid + trigrid keep runtime modest
@@ -260,7 +260,7 @@ func E4WalkRouting(sizes []int, eps float64, seed int64, workers int) Outcome {
 
 // E2Distributed compares the distributed (MPX + refine) decomposer against
 // the sequential one — the Theorem 2.1 vs 2.2 trade-off surrogate.
-func E2Distributed(sizes []int, eps float64, seed int64) Outcome {
+func E2Distributed(sizes []int, eps float64, seed int64, obs *congest.Observer) Outcome {
 	t := &Table{
 		ID:      "E2b",
 		Title:   "distributed decomposition (MPX stage as message passing)",
@@ -272,7 +272,7 @@ func E2Distributed(sizes []int, eps float64, seed int64) Outcome {
 	for _, fam := range planarFamilies()[:2] {
 		for _, n := range sizes {
 			g := fam.gen(n, rng)
-			d, metrics, err := expander.DistributedDecompose(g, congest.Config{Seed: seed}, eps)
+			d, metrics, err := expander.DistributedDecompose(g, congest.Config{Seed: seed, Obs: obs}, eps)
 			if err != nil {
 				panic(fmt.Sprintf("E2b: %v", err))
 			}

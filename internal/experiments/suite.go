@@ -1,5 +1,7 @@
 package experiments
 
+import "expandergap/internal/congest"
+
 // Scale selects experiment sizes: Small for tests, Full for the recorded
 // EXPERIMENTS.md tables.
 type Scale int
@@ -24,6 +26,10 @@ type Params struct {
 	// experiments (E4 walk routing, E15 round scaling). 0 = sequential.
 	// Results are identical for any value; only wall-clock changes.
 	Workers int
+	// Obs, when non-nil, receives the phase-attributed accounting of the
+	// experiments that route it into their congest.Config (E2b, E4, E10,
+	// E15). Like Workers, it never changes results.
+	Obs *congest.Observer
 }
 
 // DefaultParams returns the parameters for a scale.
@@ -61,11 +67,11 @@ func Named(id string, p Params) Outcome {
 	case "E2":
 		return E2ClusterConductance(p.DecompSizes, p.Eps, p.Seed)
 	case "E2b":
-		return E2Distributed(p.DecompSizes, 0.4, p.Seed)
+		return E2Distributed(p.DecompSizes, 0.4, p.Seed, p.Obs)
 	case "E3":
 		return E3HighDegree(p.DecompSizes, p.Eps, p.Seed)
 	case "E4":
-		return E4WalkRouting(p.DecompSizes, p.Eps, p.Seed, p.Workers)
+		return E4WalkRouting(p.DecompSizes, p.Eps, p.Seed, p.Workers, p.Obs)
 	case "E5":
 		return E5MaxIS(p.AppSizes, p.EpsList, p.Seed)
 	case "E6":
@@ -77,7 +83,7 @@ func Named(id string, p Params) Outcome {
 	case "E9":
 		return E9PropertyTesting(p.AppSizes, 0.1, p.Seed)
 	case "E10":
-		return E10LDD(p.DecompSizes, p.EpsList, p.Seed)
+		return E10LDD(p.DecompSizes, p.EpsList, p.Seed, p.Obs)
 	case "E11":
 		return E11Separators(p.DecompSizes, p.Seed)
 	case "E12":
@@ -87,7 +93,7 @@ func Named(id string, p Params) Outcome {
 	case "E14":
 		return E14HypercubeTightness(p.Seed)
 	case "E15":
-		return E15RoundScaling(p.GapSizes, 0.3, p.Seed, p.Workers)
+		return E15RoundScaling(p.GapSizes, 0.3, p.Seed, p.Workers, p.Obs)
 	case "E16":
 		return E16DecomposerComparison(p.AppSizes, 0.4, p.Seed)
 	default:

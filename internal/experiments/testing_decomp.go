@@ -70,7 +70,7 @@ func E9PropertyTesting(sizes []int, eps float64, seed int64) Outcome {
 
 // E10LDD measures Theorem 1.5: the framework low-diameter decomposition has
 // D·ε bounded by a constant while the MPX baseline's D·ε grows with log n.
-func E10LDD(sizes []int, epsList []float64, seed int64) Outcome {
+func E10LDD(sizes []int, epsList []float64, seed int64, obs *congest.Observer) Outcome {
 	t := &Table{
 		ID:      "E10",
 		Title:   "low-diameter decomposition with D = O(1/ε) (Thm 1.5)",
@@ -90,11 +90,11 @@ func E10LDD(sizes []int, epsList []float64, seed int64) Outcome {
 					g = graph.WithRandomWeights(base, 50, rng)
 					label = "[1,50]"
 				}
-				fw, err := ldd.Decompose(g, ldd.Options{Eps: eps, Cfg: congest.Config{Seed: seed}})
+				fw, err := ldd.Decompose(g, ldd.Options{Eps: eps, Cfg: congest.Config{Seed: seed, Obs: obs}})
 				if err != nil {
 					panic(fmt.Sprintf("E10: %v", err))
 				}
-				mpx, _, err := ldd.Baseline(g, eps, congest.Config{Seed: seed})
+				mpx, _, err := ldd.Baseline(g, eps, congest.Config{Seed: seed, Obs: obs})
 				if err != nil {
 					panic(fmt.Sprintf("E10 baseline: %v", err))
 				}

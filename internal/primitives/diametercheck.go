@@ -27,6 +27,8 @@ func DiameterCheck(g *graph.Graph, cfg congest.Config, cluster ClusterAssignment
 	if err := cluster.Validate(g); err != nil {
 		return nil, congest.Metrics{}, err
 	}
+	cfg.Obs.BeginPhase("diameter-check")
+	defer cfg.Obs.EndPhase()
 	sim := congest.NewSimulator(g, cfg)
 	res, err := sim.Run(func(v *congest.Vertex) congest.Handler {
 		return &diamCheckHandler{

@@ -62,6 +62,8 @@ func LowOutDegreeOrientation(g *graph.Graph, cfg congest.Config, cluster Cluster
 	if density < 1 {
 		return Orientation{}, congest.Metrics{}, fmt.Errorf("primitives: density bound must be >= 1, got %d", density)
 	}
+	cfg.Obs.BeginPhase("orientation")
+	defer cfg.Obs.EndPhase()
 	sim := congest.NewSimulator(g, cfg)
 	res, err := sim.Run(func(v *congest.Vertex) congest.Handler {
 		return &orientHandler{

@@ -164,6 +164,8 @@ func BFSForest(g *graph.Graph, cfg congest.Config, cluster ClusterAssignment, ro
 	if err := cluster.Validate(g); err != nil {
 		return BFSResult{}, congest.Metrics{}, err
 	}
+	cfg.Obs.BeginPhase("bfs-forest")
+	defer cfg.Obs.EndPhase()
 	sim := congest.NewSimulator(g, cfg)
 	res, err := sim.Run(func(v *congest.Vertex) congest.Handler {
 		h := &bfsHandler{
@@ -248,6 +250,8 @@ func ElectLeaders(g *graph.Graph, cfg congest.Config, cluster ClusterAssignment,
 	if err := cluster.Validate(g); err != nil {
 		return LeaderResult{}, congest.Metrics{}, err
 	}
+	cfg.Obs.BeginPhase("elect-leaders")
+	defer cfg.Obs.EndPhase()
 	sim := congest.NewSimulator(g, cfg)
 	res, err := sim.Run(func(v *congest.Vertex) congest.Handler {
 		return &leaderHandler{
@@ -312,6 +316,8 @@ func FloodValue(g *graph.Graph, cfg congest.Config, cluster ClusterAssignment, s
 	if err := cluster.Validate(g); err != nil {
 		return nil, congest.Metrics{}, err
 	}
+	cfg.Obs.BeginPhase("flood-value")
+	defer cfg.Obs.EndPhase()
 	sim := congest.NewSimulator(g, cfg)
 	res, err := sim.Run(func(v *congest.Vertex) congest.Handler {
 		h := &floodValueHandler{
@@ -415,6 +421,8 @@ func Convergecast(g *graph.Graph, cfg congest.Config, bfs BFSResult, values []in
 			childCount[p]++
 		}
 	}
+	cfg.Obs.BeginPhase("convergecast")
+	defer cfg.Obs.EndPhase()
 	sim := congest.NewSimulator(g, cfg)
 	res, err := sim.Run(func(v *congest.Vertex) congest.Handler {
 		return &convergecastHandler{

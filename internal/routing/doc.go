@@ -1,0 +1,31 @@
+// Package routing implements the information-gathering machinery of Section
+// 2.2 of the paper: routing O(log n)-bit tokens from every cluster vertex to
+// the cluster leader v*, and routing per-token responses back.
+//
+// The forward direction follows Lemma 2.4 literally: each token performs a
+// uniform lazy random walk restricted to its cluster until it hits the
+// leader. Congestion is handled exactly as the model requires — at most one
+// token crosses an edge per direction per round; blocked tokens wait, which
+// is the O(log n) slowdown the lemma's Chernoff argument budgets for.
+//
+// The reverse direction implements the paper's "reversing the routing
+// procedure" (§2.2 and §2.3): every vertex logs each (token, port, round)
+// arrival during the forward phase, and responses retrace the walks
+// backwards in reversed time order. Because at most one token crossed each
+// (edge, direction, round) forward, the reverse schedule is collision-free.
+//
+// A deterministic tree strategy (tokens climb a BFS tree toward the leader,
+// FIFO per edge) stands in for the paper's Lemma 2.5 deterministic routing;
+// it has the same interface and failure semantics.
+//
+// Undelivered tokens (forward budget exhausted) simply produce no response;
+// origins detect the failure locally, which is exactly the failure-detection
+// behavior §2.3 builds on.
+//
+// An exchange has a fixed 2T+2-round schedule (T = Plan.ForwardRounds), and
+// the package drives the simulator through the Execution Step API so the
+// schedule maps onto observer phases when a congest.Observer is attached:
+// round 1 is "setup" (the cluster-ID broadcast that discovers same-cluster
+// ports), rounds 2..T+1 are "forward" (walk steps toward the leader), and
+// the remaining rounds are "reverse" (leader responses retracing the walks).
+package routing

@@ -1,26 +1,3 @@
-// Package routing implements the information-gathering machinery of Section
-// 2.2 of the paper: routing O(log n)-bit tokens from every cluster vertex to
-// the cluster leader v*, and routing per-token responses back.
-//
-// The forward direction follows Lemma 2.4 literally: each token performs a
-// uniform lazy random walk restricted to its cluster until it hits the
-// leader. Congestion is handled exactly as the model requires — at most one
-// token crosses an edge per direction per round; blocked tokens wait, which
-// is the O(log n) slowdown the lemma's Chernoff argument budgets for.
-//
-// The reverse direction implements the paper's "reversing the routing
-// procedure" (§2.2 and §2.3): every vertex logs each (token, port, round)
-// arrival during the forward phase, and responses retrace the walks
-// backwards in reversed time order. Because at most one token crossed each
-// (edge, direction, round) forward, the reverse schedule is collision-free.
-//
-// A deterministic tree strategy (tokens climb a BFS tree toward the leader,
-// FIFO per edge) stands in for the paper's Lemma 2.5 deterministic routing;
-// it has the same interface and failure semantics.
-//
-// Undelivered tokens (forward budget exhausted) simply produce no response;
-// origins detect the failure locally, which is exactly the failure-detection
-// behavior §2.3 builds on.
 package routing
 
 import (
@@ -351,7 +328,7 @@ func exchange(g *graph.Graph, cfg congest.Config, plan Plan, tokens [][]Token, r
 	}
 	total := 2*plan.ForwardRounds + 2
 	sim := congest.NewSimulator(g, cfg)
-	res, err := sim.Run(func(v *congest.Vertex) congest.Handler {
+	e := sim.Start(func(v *congest.Vertex) congest.Handler {
 		h := &routeHandler{
 			plan:         &plan,
 			isLeader:     plan.Leader[v.ID()] == v.ID(),
@@ -374,9 +351,47 @@ func exchange(g *graph.Graph, cfg congest.Config, plan Plan, tokens [][]Token, r
 		}
 		return h
 	})
-	if err != nil {
-		return nil, res.Metrics, err
+	defer e.Close()
+	// The round loop is driven explicitly (rather than via sim.Run) so the
+	// exchange's fixed schedule maps onto observer phases: round 1 is the
+	// cluster-ID setup broadcast, rounds 2..T+1 are the forward walk steps
+	// (Lemma 2.4), and everything after is the leader response plus the
+	// reversed-walk delivery (§2.2–2.3).
+	phase := ""
+	setPhase := func(want string) {
+		if want != phase {
+			if phase != "" {
+				e.EndPhase()
+			}
+			e.BeginPhase(want)
+			phase = want
+		}
 	}
+	var res congest.Result
+	for {
+		switch next := e.Round() + 1; {
+		case next == 1:
+			setPhase("setup")
+		case next <= plan.ForwardRounds+1:
+			setPhase("forward")
+		default:
+			setPhase("reverse")
+		}
+		done, err := e.Step()
+		if err != nil {
+			if phase != "" {
+				e.EndPhase()
+			}
+			return nil, e.Metrics(), err
+		}
+		if done {
+			break
+		}
+	}
+	if phase != "" {
+		e.EndPhase()
+	}
+	res = e.Finish()
 	out := &ExchangeResult{
 		Responses:  make([][]Token, n),
 		LeaderLoad: make(map[int]int),
