@@ -4,9 +4,15 @@
 // performance trajectory can be compared across PRs (benchstat-style) from
 // CI artifacts.
 //
+// With -check it additionally acts as a regression gate: the fresh numbers
+// are compared against a committed baseline document and the process exits
+// non-zero if the steady-state round loop allocates, or if the flood
+// benchmark regresses by more than -tolerance against the baseline.
+//
 // Usage:
 //
-//	benchjson [-out BENCH_2.json] [-benchtime 100ms]
+//	benchjson [-pr 4] [-out BENCH_4.json] [-benchtime 100ms]
+//	          [-check BENCH_2.json] [-tolerance 0.25]
 package main
 
 import (
@@ -37,10 +43,55 @@ type report struct {
 	Benchmarks []record `json:"benchmarks"`
 }
 
+// find returns the named benchmark record, or nil.
+func (r *report) find(name string) *record {
+	for i := range r.Benchmarks {
+		if r.Benchmarks[i].Name == name {
+			return &r.Benchmarks[i]
+		}
+	}
+	return nil
+}
+
+// check compares the fresh report against a committed baseline document and
+// returns the list of regression-gate violations. The gate is deliberately
+// narrow — two invariants the repo promises to hold across PRs:
+//
+//  1. the steady-state Step loop performs zero allocations per round, and
+//  2. BenchmarkSimulatorFlood's ns/op stays within (1+tolerance)× of the
+//     baseline (CI runner noise is why the default tolerance is 25%).
+func check(fresh, base *report, tolerance float64) []string {
+	var violations []string
+	if ss := fresh.find("BenchmarkSimulatorFloodSteadyState"); ss == nil {
+		violations = append(violations, "BenchmarkSimulatorFloodSteadyState missing from fresh run")
+	} else if ss.AllocsPerOp > 0 {
+		violations = append(violations, fmt.Sprintf(
+			"BenchmarkSimulatorFloodSteadyState allocates: %d allocs/op, want 0", ss.AllocsPerOp))
+	}
+	cur, ref := fresh.find("BenchmarkSimulatorFlood"), base.find("BenchmarkSimulatorFlood")
+	switch {
+	case cur == nil:
+		violations = append(violations, "BenchmarkSimulatorFlood missing from fresh run")
+	case ref == nil:
+		violations = append(violations, "BenchmarkSimulatorFlood missing from baseline")
+	case cur.NsPerOp > ref.NsPerOp*(1+tolerance):
+		violations = append(violations, fmt.Sprintf(
+			"BenchmarkSimulatorFlood regressed: %.0f ns/op vs baseline %.0f ns/op (limit %.0f, +%.0f%%)",
+			cur.NsPerOp, ref.NsPerOp, ref.NsPerOp*(1+tolerance), tolerance*100))
+	}
+	return violations
+}
+
 func main() {
-	out := flag.String("out", "BENCH_2.json", "output file")
+	pr := flag.Int("pr", 4, "PR number recorded in the report (names the default output file)")
+	out := flag.String("out", "", "output file (default BENCH_<pr>.json)")
 	benchtime := flag.String("benchtime", "100ms", "per-benchmark run budget (Go benchtime syntax)")
+	checkPath := flag.String("check", "", "baseline BENCH_<pr>.json to regression-check against (empty disables)")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional ns/op regression for the -check gate")
 	flag.Parse()
+	if *out == "" {
+		*out = fmt.Sprintf("BENCH_%d.json", *pr)
+	}
 
 	// testing.Benchmark honours the -test.benchtime flag; register the
 	// testing flags explicitly since this is a plain binary, not a test.
@@ -51,13 +102,18 @@ func main() {
 	}
 
 	rep := report{
-		PR: 2,
+		PR: *pr,
 		Baselines: []record{
 			// BenchmarkSimulatorFlood on the pre-CSR simulator (seed commit
 			// 818038f, measured 2026-08-06 on the CI container class): the
 			// reference point for the PR 2 acceptance criterion.
 			{Name: "BenchmarkSimulatorFlood@pre-PR2", Iterations: 0,
 				NsPerOp: 3247143, BytesPerOp: 1541362, AllocsPerOp: 4097},
+			// BenchmarkWalkRoutingGrid on the dense scheduler (commit
+			// cb83db2, measured 2026-08-06 on the same container class): the
+			// reference point for the PR 4 sparse-scheduling criterion.
+			{Name: "BenchmarkWalkRoutingGrid@pre-PR4", Iterations: 0,
+				NsPerOp: 35988029, BytesPerOp: 1512464, AllocsPerOp: 10350},
 		},
 	}
 	for _, bm := range benchmarks.Named() {
@@ -85,4 +141,24 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s\n", *out)
+
+	if *checkPath != "" {
+		raw, err := os.ReadFile(*checkPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: reading baseline: %v\n", err)
+			os.Exit(1)
+		}
+		var base report
+		if err := json.Unmarshal(raw, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: parsing baseline %s: %v\n", *checkPath, err)
+			os.Exit(1)
+		}
+		if violations := check(&rep, &base, *tolerance); len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintf(os.Stderr, "benchjson: REGRESSION: %s\n", v)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("regression check against %s passed\n", *checkPath)
+	}
 }

@@ -116,6 +116,7 @@ func DistributedPivot(g *graph.Graph, cfg congest.Config) ([]int, congest.Metric
 					v.Broadcast(congest.Message{7, s.priority % (1 << 14), s.priority >> 14})
 				case 2:
 					if s.label != -1 {
+						v.SleepUntil(round + 2)
 						return
 					}
 					minP := true
@@ -131,6 +132,9 @@ func DistributedPivot(g *graph.Graph, cfg congest.Config) ([]int, congest.Metric
 						s.label = v.ID()
 						v.Broadcast(congest.Message{8, int64(v.ID())})
 					}
+					// Idle until the next draw round (round+2) unless a
+					// pivot claim arrives in the claim round and wakes us.
+					v.SleepUntil(round + 2)
 				case 0:
 					if s.label != -1 {
 						return

@@ -67,6 +67,10 @@ func EliminateStars(g *graph.Graph, cfg congest.Config) ([]bool, congest.Metrics
 					}
 					v.Send(lo, congest.Message{2, int64(other)})
 				}
+				// Round 1 is pure token aggregation: only vertices that
+				// receive a token act (the message wakes them); everyone
+				// else skips straight to the output round.
+				v.SleepUntil(2)
 			},
 			RoundFn: func(v *congest.Vertex, round int, recv []congest.Incoming) {
 				switch round {
@@ -295,13 +299,23 @@ func DistributedGreedy(g *graph.Graph, cfg congest.Config) (*Result, congest.Met
 					s.proposeTo = -1
 					s.bestPort = best
 					if v.Rand().Intn(2) == 0 {
-						return // acceptor this phase
+						// Acceptor: idle until a proposal wakes it in the
+						// accept round or the next propose round's draw.
+						v.SleepUntil(round + 3)
+						return
 					}
 					s.proposeTo = best
 					v.Send(best, congest.Message{4})
+					// Proposers ignore the accept round unless a neighbor's
+					// proposal wakes them (a no-op); the confirm round needs
+					// them only if an acceptance arrives, which wakes them.
+					v.SleepUntil(round + 3)
 				case 2:
 					if s.proposeTo != -1 {
-						return // proposers ignore incoming proposals
+						// Woken by a neighbor's proposal: still just waiting
+						// for the confirm round.
+						v.SleepUntil(round + 2)
+						return
 					}
 					// Accept only a proposal arriving on the locally
 					// heaviest live edge (Preis-style): this preserves the
@@ -313,6 +327,13 @@ func DistributedGreedy(g *graph.Graph, cfg congest.Config) (*Result, congest.Met
 							v.Send(in.Port, congest.Message{6})
 							break
 						}
+					}
+					if s.mate == -1 {
+						// Nothing accepted: the confirm round is a no-op for
+						// this vertex; sleep to the next propose round. A
+						// vertex that accepted stays awake to broadcast its
+						// retirement in the confirm round.
+						v.SleepUntil(round + 2)
 					}
 				case 0:
 					for _, in := range recv {

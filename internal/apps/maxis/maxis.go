@@ -164,6 +164,7 @@ func LubyMIS(g *graph.Graph, cfg congest.Config) ([]int, congest.Metrics, error)
 					v.Broadcast(congest.Message{2, s.priority % (1 << 15), s.priority >> 15})
 				case 2:
 					if !s.active {
+						v.SleepUntil(round + 2)
 						return
 					}
 					win := true
@@ -180,6 +181,11 @@ func LubyMIS(g *graph.Graph, cfg congest.Config) ([]int, congest.Metrics, error)
 						s.active = false
 						v.Broadcast(congest.Message{3})
 					}
+					// Nothing to do until the next draw round (round+2,
+					// where winners halt and survivors redraw) unless a
+					// neighbor's MIS announcement arrives in the
+					// deactivation round — the message wakes us for it.
+					v.SleepUntil(round + 2)
 				case 0:
 					if s.active {
 						for _, in := range recv {

@@ -148,6 +148,8 @@ type Vertex struct {
 	rports    []int32   // rports[p] is the port on neighbor ports[p] leading back here
 	outbox    []Message // view into the shared flat outbox array
 	halted    bool
+	asleep    bool // quiescent: skipped by the scheduler until woken
+	wakeAt    int  // absolute round of the pending SleepUntil timer; 0 = none
 	rng       *rand.Rand
 	rngSeeded bool // lazily (re)seeded on first Rand() per execution
 	output    any
@@ -311,6 +313,46 @@ func (v *Vertex) Halt() {
 // Halted reports whether the vertex halted.
 func (v *Vertex) Halted() bool { return v.halted }
 
+// Sleep declares quiescence: the vertex stops receiving Round calls until a
+// message arrives on any of its ports, at which point it is re-woken
+// automatically (in the round the message is delivered, with that message in
+// recv). A message dropped by fault injection does not wake the vertex —
+// wakes are decided after the fault filter, so sleeping never changes what a
+// vertex observes. Sleeping is only legal when the handler would otherwise do
+// nothing observable in the skipped rounds: no sends, no Rand() draws, no
+// state changes (see DESIGN.md §3.10). Queued sends from the current round
+// are still delivered. Sleep cancels a pending SleepUntil timer and is a
+// no-op on a halted vertex. Unlike Halt, Sleep is reversible and does not
+// count toward termination: a run in which every non-halted vertex sleeps
+// forever with no pending messages or timers fails with ErrDeadlock rather
+// than spinning to MaxRounds.
+func (v *Vertex) Sleep() {
+	if v.halted {
+		return
+	}
+	v.asleep = true
+	v.wakeAt = 0
+}
+
+// SleepUntil is Sleep with a self-wake timer: the vertex sleeps and is
+// re-woken in the given absolute round (as passed to Round) even if no
+// message arrives first; a message still wakes it early, canceling the
+// timer. It is the tool for algorithms that count rounds while idle — a
+// fixed-schedule phase can sleep through its idle stretch and wake exactly
+// on its next scheduled round. A round at or before the next round is a
+// no-op (the vertex simply stays awake), as is calling it on a halted
+// vertex.
+func (v *Vertex) SleepUntil(round int) {
+	if v.halted || round <= v.sim.curRound+1 {
+		return
+	}
+	v.asleep = true
+	v.wakeAt = round
+}
+
+// Asleep reports whether the vertex is currently sleeping.
+func (v *Vertex) Asleep() bool { return v.asleep }
+
 // SetOutput records the vertex's final output, retrievable from Result.
 func (v *Vertex) SetOutput(out any) { v.output = out }
 
@@ -370,6 +412,13 @@ type Result struct {
 // ErrMaxRounds is returned when a run exceeds Config.MaxRounds.
 var ErrMaxRounds = errors.New("congest: exceeded maximum rounds without termination")
 
+// ErrDeadlock is returned when no vertex can ever step again — every
+// non-halted vertex is asleep with no messages in flight and no SleepUntil
+// timer pending — yet the run has not terminated. This is always an
+// algorithm bug (a Sleep with no possible wake); the sparse scheduler
+// detects it in O(1) instead of spinning empty rounds to MaxRounds.
+var ErrDeadlock = errors.New("congest: all non-halted vertices asleep with no pending messages or timers")
+
 // Simulator executes distributed algorithms on a fixed graph.
 //
 // The CSR vertex layout and all per-run buffers are cached on the Simulator
@@ -416,6 +465,18 @@ type Simulator struct {
 	inboxes    [][]Incoming
 	handlers   []Handler
 	active     bool
+
+	// Sparse activation scheduler (sched.go, DESIGN.md §3.10). All worklists
+	// are preallocated to capacity n by buildLayout and rebuilt at round
+	// barriers, keeping the steady-state round loop allocation-free while
+	// costing O(active + messages) per round instead of O(n + m).
+	awake        []int32   // vertices eligible to step next round, ascending
+	stepList     []int32   // vertices stepped this round, ascending
+	deliverList  []int32   // vertices with queued incoming messages, ascending
+	deliverStamp []int     // dedup stamp per vertex: delivery round it was listed for
+	inboxRound   []int     // round whose messages inboxes[v] currently holds
+	timers       timerHeap // pending SleepUntil wakes, lazily deleted
+	timerStamp   []int     // latest wake round pushed per vertex, to dedup re-sleeps
 }
 
 // NewSimulator returns a Simulator for g under cfg.
@@ -503,6 +564,13 @@ func (s *Simulator) buildLayout() {
 	s.verts = make([]Vertex, n)
 	s.inboxes = make([][]Incoming, n)
 	s.handlers = make([]Handler, n)
+	s.awake = make([]int32, 0, n)
+	s.stepList = make([]int32, 0, n)
+	s.deliverList = make([]int32, 0, n)
+	s.deliverStamp = make([]int, n)
+	s.inboxRound = make([]int, n)
+	s.timers = make(timerHeap, 0, n)
+	s.timerStamp = make([]int, n)
 	for v := 0; v < n; v++ {
 		lo, hi := s.off[v], s.off[v+1]
 		s.verts[v] = Vertex{
@@ -517,10 +585,12 @@ func (s *Simulator) buildLayout() {
 }
 
 // mergeShards drains every vertex's metrics shard into the run aggregate and
-// the termination counters. Called at round barriers only (never
-// concurrently with handlers). pendingMsgs is exact here because delivery
-// drains every outbox every round, so the only queued messages are the ones
-// sent since the previous barrier.
+// the termination counters — the dense O(n) merge, used only after the Init
+// phase, where any vertex may have sent or halted. Round barriers use the
+// sparse mergeStepped (sched.go) instead, which visits only the vertices
+// that stepped. pendingMsgs is exact here because delivery drains every
+// outbox every round, so the only queued messages are the ones sent since
+// the previous barrier.
 func (s *Simulator) mergeShards() {
 	var phaseSends int64
 	for i := range s.verts {
@@ -547,14 +617,21 @@ func (s *Simulator) mergeShards() {
 	s.pendingMsgs = phaseSends
 }
 
-// deliver moves queued messages into the inboxes of receivers lo..hi-1 for
-// the given round. The scan is receiver-centric: each receiver walks its own
-// ports in ascending neighbor order and claims the matching outbox slot on
-// the sender side, so (a) inbox order is canonically ascending by sender ID
-// regardless of which worker delivers, and (b) no two workers ever touch the
-// same outbox slot (each slot has exactly one receiver).
+// deliver moves queued messages into the inboxes of the deliverList
+// receivers at positions lo..hi-1 for the given round. The scan is
+// receiver-centric: each receiver walks its own ports in ascending neighbor
+// order and claims the matching outbox slot on the sender side, so (a) inbox
+// order is canonically ascending by sender ID regardless of which worker
+// delivers, and (b) no two workers ever touch the same outbox slot (each
+// slot has exactly one receiver, and each receiver appears once in the
+// deduped deliverList). Every queued message is drained here — deliverList
+// covers all receivers of the previous phase's sends by construction — which
+// is what keeps pendingMsgs exact at barriers. inboxRound is stamped even
+// when every message to a receiver is dropped by fault injection, so stale
+// inbox contents from an earlier round can never be re-observed.
 func (s *Simulator) deliver(round, lo, hi int) {
-	for id := lo; id < hi; id++ {
+	for i := lo; i < hi; i++ {
+		id := int(s.deliverList[i])
 		v := &s.verts[id]
 		inbox := s.inboxes[id][:0]
 		for p, from := range v.ports {
@@ -571,6 +648,7 @@ func (s *Simulator) deliver(round, lo, hi int) {
 			inbox = append(inbox, Incoming{Port: p, From: int(from), Msg: msg})
 		}
 		s.inboxes[id] = inbox
+		s.inboxRound[id] = round
 	}
 }
 
@@ -613,6 +691,8 @@ func (s *Simulator) Start(newHandler func(v *Vertex) Handler) *Execution {
 	for i := range s.verts {
 		v := &s.verts[i]
 		v.halted = false
+		v.asleep = false
+		v.wakeAt = 0
 		v.output = nil
 		v.local = vertexMetrics{}
 		v.arenas[0].used, v.arenas[0].round = 0, -1
@@ -633,15 +713,21 @@ func (s *Simulator) Start(newHandler func(v *Vertex) Handler) *Execution {
 
 	e := &Execution{s: s, exec: newExecutor(s.cfg.Workers, n)}
 	// The two phase closures are built once per execution so the round loop
-	// itself allocates nothing.
+	// itself allocates nothing. Both operate on worklist index ranges, not
+	// vertex ID ranges: delivery walks deliverList, compute walks stepList.
 	e.deliverFn = func(lo, hi int) { s.deliver(e.round, lo, hi) }
 	e.computeFn = func(lo, hi int) {
-		for id := lo; id < hi; id++ {
+		for i := lo; i < hi; i++ {
+			id := int(s.stepList[i])
 			v := &s.verts[id]
 			if v.halted {
 				continue
 			}
-			s.handlers[id].Round(v, e.round, s.inboxes[id])
+			var recv []Incoming
+			if s.inboxRound[id] == e.round {
+				recv = s.inboxes[id]
+			}
+			s.handlers[id].Round(v, e.round, recv)
 		}
 	}
 
@@ -651,30 +737,40 @@ func (s *Simulator) Start(newHandler func(v *Vertex) Handler) *Execution {
 		s.handlers[id].Init(&s.verts[id])
 	}
 	s.mergeShards()
+	s.resetSchedule()
 	return e
 }
 
-// runPhase executes fn over the full vertex range, sharded across the worker
-// pool when one exists. fn(lo, hi) must only touch state owned by vertices
-// lo..hi-1 (plus the disjoint outbox slots deliver claims).
-func (e *Execution) runPhase(fn func(lo, hi int)) {
-	if e.exec == nil {
-		fn(0, e.s.g.N())
+// runPhase executes fn over the index range [0, k) of the current worklist,
+// sharded across the worker pool when one exists. fn(lo, hi) must only touch
+// state owned by the vertices at worklist positions lo..hi-1 (plus the
+// disjoint outbox slots deliver claims).
+func (e *Execution) runPhase(fn func(lo, hi int), k int) {
+	if k == 0 {
 		return
 	}
-	e.exec.phase(fn)
+	if e.exec == nil {
+		fn(0, k)
+		return
+	}
+	e.exec.phase(fn, k)
 }
 
-// Step executes one synchronized round: delivery, compute, and the barrier
-// merge of metric shards. It reports done=true (without executing anything)
-// once every vertex has halted and every queued message has been delivered —
-// an O(1) check against the running counters — and ErrMaxRounds when the
-// round budget is exhausted.
+// Step executes one synchronized round: delivery over the deliverList, the
+// barrier assembly of the step list (awake vertices plus message and timer
+// wakes), compute over the step list, and the barrier merge of metric
+// shards. It reports done=true (without executing anything) once every
+// vertex has halted and every queued message has been delivered — an O(1)
+// check against the running counters — ErrDeadlock when no vertex can ever
+// step again, and ErrMaxRounds when the round budget is exhausted.
 func (e *Execution) Step() (done bool, err error) {
 	s := e.s
 	if s.haltedCount == s.g.N() && s.pendingMsgs == 0 {
 		e.done = true
 		return true, nil
+	}
+	if len(s.awake) == 0 && len(s.deliverList) == 0 && len(s.timers) == 0 {
+		return false, fmt.Errorf("%w (%d of %d vertices halted)", ErrDeadlock, s.haltedCount, s.g.N())
 	}
 	round := e.round + 1
 	if round > s.cfg.MaxRounds {
@@ -682,14 +778,15 @@ func (e *Execution) Step() (done bool, err error) {
 	}
 	e.round = round
 	s.curRound = round
-	e.runPhase(e.deliverFn)
+	e.runPhase(e.deliverFn, len(s.deliverList))
 	s.metrics.Rounds++
-	e.runPhase(e.computeFn)
-	s.mergeShards()
+	s.assembleStepList(round)
+	e.runPhase(e.computeFn, len(s.stepList))
+	s.mergeStepped(round)
 	if s.obs != nil {
 		m := s.metrics
 		s.obs.recordRound(
-			s.g.N()-s.haltedCount,
+			len(s.stepList),
 			m.Messages-e.obsPrev.Messages,
 			m.Words-e.obsPrev.Words,
 			s.roundMax, s.wordBits, &s.roundHist)

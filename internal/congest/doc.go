@@ -78,6 +78,26 @@
 // rounds must Clone it. Messages built by MsgBuf in round r are reclaimed in
 // round r+2, strictly after every receiver has finished reading them.
 //
+// # Quiescence and sparse scheduling
+//
+// A handler that can prove its vertex does nothing for a while — sends
+// nothing, draws no randomness, changes no externally visible state — may
+// declare quiescence (DESIGN.md §3.10):
+//
+//	v.Sleep()        // skip me until a message arrives
+//	v.SleepUntil(r)  // skip me until round r, or until a message arrives
+//
+// The simulator then schedules each round over worklists of awake, woken,
+// and message-receiving vertices, so a round costs O(stepped + messages)
+// instead of O(n + m). Sleeping is an optimization hint with exact
+// semantics: rounds are still counted, message delivery, ordering, fault
+// coins, and PRNG streams are unchanged, and results are bit-identical to
+// the dense schedule (the golden tests pin this). A message dropped by
+// fault injection does not wake its receiver. Halt dominates sleep, and a
+// vertex woken by a timer with no fresh delivery sees an empty recv slice —
+// never its stale inbox. If every non-halted vertex sleeps with no pending
+// message or timer, the run fails fast with ErrDeadlock.
+//
 // # Observability
 //
 // Attaching an Observer via Config.Obs turns the end-of-run Metrics

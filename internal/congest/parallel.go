@@ -4,23 +4,24 @@ import "sync"
 
 // executor is the deterministic parallel phase runner behind Config.Workers.
 //
-// The vertex range [0, n) is split into one contiguous chunk per worker;
-// each phase dispatches every chunk to the long-lived worker pool and blocks
-// until all chunks finish (the round barrier). Chunk boundaries depend only
-// on (Workers, n), and each chunk is processed in ascending vertex order, so
-// any per-vertex computation that is order-independent across vertices (the
-// simulator's delivery and compute phases are, by construction — per-vertex
-// PRNGs, canonical inbox order, hash-derived fault coins) produces results
-// identical to the sequential path.
+// Each phase runs over an index range [0, k) of the caller's current
+// worklist (the full vertex range before sparse scheduling; now the
+// deliverList or stepList). The range is split into one contiguous chunk per
+// worker; each phase dispatches every chunk to the long-lived worker pool
+// and blocks until all chunks finish (the round barrier). Chunk boundaries
+// depend only on (Workers, k), and both k and the worklist contents are
+// themselves deterministic (rebuilt sequentially at barriers, sorted
+// ascending), so any per-vertex computation that is order-independent across
+// vertices (the simulator's delivery and compute phases are, by construction
+// — per-vertex PRNGs, canonical inbox order, hash-derived fault coins)
+// produces results identical to the sequential path.
 //
 // Handler panics (model violations are contracted to panic) are recovered on
 // the worker, parked per-chunk, and re-raised on the caller's goroutine
-// after the barrier — lowest chunk first, which matches the vertex the
-// sequential path would have panicked on.
+// after the barrier — lowest chunk first, which (worklists being sorted)
+// matches the vertex the sequential path would have panicked on.
 type executor struct {
 	workers int
-	n       int
-	chunk   int
 	tasks   chan execTask
 	wg      sync.WaitGroup
 	panics  []any // one slot per chunk, rewritten each phase
@@ -33,7 +34,8 @@ type execTask struct {
 }
 
 // newExecutor returns a pool of the given size, or nil when the sequential
-// path should be used (workers <= 0 or an empty graph).
+// path should be used (workers <= 0 or an empty graph). n caps the pool:
+// more workers than vertices would never all be busy.
 func newExecutor(workers, n int) *executor {
 	if workers <= 0 || n == 0 {
 		return nil
@@ -41,14 +43,10 @@ func newExecutor(workers, n int) *executor {
 	if workers > n {
 		workers = n
 	}
-	chunk := (n + workers - 1) / workers
-	nchunks := (n + chunk - 1) / chunk
 	e := &executor{
 		workers: workers,
-		n:       n,
-		chunk:   chunk,
-		tasks:   make(chan execTask, nchunks),
-		panics:  make([]any, nchunks),
+		tasks:   make(chan execTask, workers),
+		panics:  make([]any, workers),
 	}
 	for i := 0; i < workers; i++ {
 		go e.loop()
@@ -72,17 +70,27 @@ func (e *executor) runTask(t execTask) {
 	t.fn(t.lo, t.hi)
 }
 
-// phase runs fn over [0, n) sharded across the pool and waits for the
-// barrier. fn(lo, hi) must touch only state owned by vertices lo..hi-1.
-func (e *executor) phase(fn func(lo, hi int)) {
+// phase runs fn over the index range [0, k) sharded across the pool and
+// waits for the barrier. fn(lo, hi) must touch only state owned by the
+// worklist entries at positions lo..hi-1. At most `workers` chunks are
+// dispatched regardless of k, so the panic slots never need to grow.
+func (e *executor) phase(fn func(lo, hi int), k int) {
+	if k <= 0 {
+		return
+	}
+	workers := e.workers
+	if workers > k {
+		workers = k
+	}
+	chunk := (k + workers - 1) / workers
 	for i := range e.panics {
 		e.panics[i] = nil
 	}
 	idx := 0
-	for lo := 0; lo < e.n; lo += e.chunk {
-		hi := lo + e.chunk
-		if hi > e.n {
-			hi = e.n
+	for lo := 0; lo < k; lo += chunk {
+		hi := lo + chunk
+		if hi > k {
+			hi = k
 		}
 		e.wg.Add(1)
 		e.tasks <- execTask{fn: fn, lo: lo, hi: hi, idx: idx}

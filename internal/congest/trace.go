@@ -201,9 +201,10 @@ func (o *Observer) Flush() error {
 }
 
 // recordRound attributes one executed round to the innermost open phase and,
-// when tracing is enabled, appends a trace event. hist is drained (merged
-// and zeroed) so the caller can reuse it. Called by Execution.Step at the
-// round barrier; never concurrently.
+// when tracing is enabled, appends a trace event. active is the number of
+// vertices stepped this round (the step-list length, not the non-halted
+// count). hist is drained (merged and zeroed) so the caller can reuse it.
+// Called by Execution.Step at the round barrier; never concurrently.
 func (o *Observer) recordRound(active int, msgs, words int64, maxWords, wordBits int, hist *[histBuckets]int64) {
 	o.rounds++
 	bits := words * int64(wordBits)
@@ -236,8 +237,10 @@ func (o *Observer) recordRound(active int, msgs, words int64, maxWords, wordBits
 // TraceEvent is one per-round record of the JSONL trace stream. Round is the
 // observer-global round index (monotone across chained executions); Phase is
 // the "/"-joined phase stack at the time the round executed ("" when no
-// phase was open); Active counts non-halted vertices after the round;
-// Messages/Words/Bits are the costs accounted during the round.
+// phase was open); Active counts the vertices stepped during the round —
+// halted vertices and sleeping vertices (§3.10 quiescence) are excluded, so
+// a round that only waits out SleepUntil timers reports 0; Messages/Words/
+// Bits are the costs accounted during the round.
 type TraceEvent struct {
 	Round    int    `json:"round"`
 	Phase    string `json:"phase"`

@@ -154,7 +154,12 @@ func nibbleCarve(g *graph.Graph, cfg congest.Config, carved []bool, threshold fl
 					v.Halt()
 					return
 				}
+				// Every idle return below sleeps until new mass arrives (a
+				// message wakes the vertex) or the final output round fires
+				// via the timer; the skipped rounds would have re-evaluated
+				// the same state and done nothing.
 				if !s.active {
+					v.SleepUntil(rounds)
 					return
 				}
 				deg := int64(0)
@@ -166,11 +171,13 @@ func nibbleCarve(g *graph.Graph, cfg congest.Config, carved []bool, threshold fl
 				if deg == 0 {
 					s.p += s.r
 					s.r = 0
+					v.SleepUntil(rounds)
 					return
 				}
 				// Push when the residual is meaningful (≥ deg units of
 				// fixed-point mass, i.e. each neighbor gets ≥ 1).
 				if s.r < 2*deg {
+					v.SleepUntil(rounds)
 					return
 				}
 				s.p += int64(alpha * float64(s.r))
@@ -183,6 +190,11 @@ func nibbleCarve(g *graph.Graph, cfg congest.Config, carved []bool, threshold fl
 					if !carved[v.NeighborID(p)] {
 						v.Send(p, push)
 					}
+				}
+				if s.r < 2*deg {
+					// Drained below the push threshold: quiesce like the
+					// branch above until more mass flows in.
+					v.SleepUntil(rounds)
 				}
 			},
 		}

@@ -131,7 +131,13 @@ func (h *bfsHandler) Round(v *congest.Vertex, round int, recv []congest.Incoming
 			h.dist = 0
 			h.parent = v.ID()
 			h.root = v.ID()
+			// The root must be awake next round to launch the wave.
+			return
 		}
+		// Nothing to do until the wave arrives (a message wakes us early)
+		// or the mandatory output round pr==budget (simulator round
+		// budget+1, driven by the timer).
+		v.SleepUntil(h.budget + 1)
 		return
 	}
 	if pr == 1 && h.isRoot && !h.sent {
@@ -153,7 +159,11 @@ func (h *bfsHandler) Round(v *congest.Vertex, round int, recv []congest.Incoming
 	if pr >= h.budget {
 		v.SetOutput([3]int{h.parent, h.dist, h.root})
 		v.Halt()
+		return
 	}
+	// Idle until a (possibly duplicate) wave message or the output round;
+	// skipped rounds would have observed an empty recv and done nothing.
+	v.SleepUntil(h.budget + 1)
 }
 
 // BFSForest builds a BFS tree inside every cluster from the given roots
@@ -230,6 +240,14 @@ func (h *leaderHandler) Round(v *congest.Vertex, round int, recv []congest.Incom
 	if pr >= h.budget {
 		v.SetOutput([2]int{h.bestID, h.bestDeg})
 		v.Halt()
+		return
+	}
+	if pr >= 1 {
+		// Between improvements this vertex is silent: without an incoming
+		// candidate, changed stays false and nothing is sent. Sleep until a
+		// message (a new candidate) or the output round. The absorb round
+		// (pr==0) must not sleep — every vertex announces itself at pr==1.
+		v.SleepUntil(h.budget + 1)
 	}
 }
 
@@ -284,6 +302,12 @@ type floodValueHandler struct {
 func (h *floodValueHandler) Round(v *congest.Vertex, round int, recv []congest.Incoming) {
 	pr, ok := h.absorb(v, round, recv)
 	if !ok {
+		if !h.has {
+			// Non-sources idle until the flooded value arrives (message
+			// wake) or the output round; sources stay awake to send at
+			// pr==1.
+			v.SleepUntil(h.budget + 1)
+		}
 		return
 	}
 	if pr == 1 && h.has {
@@ -305,7 +329,9 @@ func (h *floodValueHandler) Round(v *congest.Vertex, round int, recv []congest.I
 			v.SetOutput(h.value)
 		}
 		v.Halt()
+		return
 	}
+	v.SleepUntil(h.budget + 1)
 }
 
 // FloodValue floods a single word from each cluster's source vertex (map
@@ -405,7 +431,12 @@ func (h *convergecastHandler) Round(v *congest.Vertex, round int, recv []congest
 			v.SetOutput(h.acc)
 		}
 		v.Halt()
+		return
 	}
+	// Everything this handler does is triggered by arriving child
+	// contributions (leaves send theirs in round 1, before any sleep);
+	// sleep until the next one or the final aggregation round.
+	v.SleepUntil(h.budget)
 }
 
 // Convergecast aggregates one value per vertex up a previously built BFS

@@ -86,6 +86,16 @@ type visit struct {
 	round int
 }
 
+// visitEntry is one hop in a vertex's visit log: a token's arrival (port,
+// phase round) plus the index of the same token's previous visit here. The
+// log is append-only and shared by all tokens passing through the vertex;
+// per token only a head index is kept, so recording a hop costs one slice
+// append and one map store of an int32 — no per-token slice ever grows.
+type visitEntry struct {
+	port, round int32
+	prev        int32 // index of the token's previous visit, -1 if none
+}
+
 type pendingSend struct {
 	round int
 	port  int
@@ -98,9 +108,10 @@ type routeHandler struct {
 	samePorts    []int
 	queue        []Token // tokens currently held (forward phase)
 	portStamp    []int   // portStamp[p] == pr marks port p used this round
-	visits       map[[2]int][]visit
-	absorbed     []Token // leader only
-	absorbLog    map[[2]int]visit
+	visitLog     []visitEntry
+	visitHead    map[[2]int]int32 // latest visitLog index per token key
+	absorbed     []Token          // leader only
+	absorbLog    map[[2]int]visit // leader only
 	reverse      []pendingSend
 	responses    []Token
 	respond      func(leader int, t Token) (int64, int64)
@@ -122,6 +133,7 @@ func (h *routeHandler) Round(v *congest.Vertex, round int, recv []congest.Incomi
 				h.samePorts = append(h.samePorts, in.Port)
 			}
 		}
+		h.maybeSleep(v, 0, T)
 		return
 	}
 	pr := round - 1 // phase round: 1..T forward, T+1 respond, up to 2T+2
@@ -137,7 +149,13 @@ func (h *routeHandler) Round(v *congest.Vertex, round int, recv []congest.Incomi
 				h.absorbed = append(h.absorbed, tok)
 				h.absorbLog[key(tok)] = visit{port: in.Port, round: pr}
 			} else {
-				h.visits[key(tok)] = append(h.visits[key(tok)], visit{port: in.Port, round: pr})
+				k := key(tok)
+				prev, seen := h.visitHead[k]
+				if !seen {
+					prev = -1
+				}
+				h.visitHead[k] = int32(len(h.visitLog))
+				h.visitLog = append(h.visitLog, visitEntry{port: int32(in.Port), round: int32(pr), prev: prev})
 				h.queue = append(h.queue, tok)
 			}
 		case kindReverse:
@@ -157,15 +175,41 @@ func (h *routeHandler) Round(v *congest.Vertex, round int, recv []congest.Incomi
 	if pr >= h.total {
 		v.SetOutput(h.responses)
 		v.Halt()
+		return
 	}
+	h.maybeSleep(v, pr, T)
+}
+
+// maybeSleep puts the vertex to sleep until its next scheduled duty in the
+// 2T+2 exchange, called at the end of every Round with the current phase
+// round pr (sim round pr+1). The schedule is fully known locally: a vertex
+// holding tokens keeps forwarding while forward rounds remain (and must stay
+// awake — the lazy walk draws randomness every such round); a leader has the
+// respond round T+1; queued reverse sends are due at exact phase rounds; and
+// everyone has the final output round pr==total. A token arriving on any
+// port wakes the vertex early, exactly when the dense scheduler would have
+// had it act on the arrival — all skipped rounds are provable no-ops (empty
+// queue means forwardStep returns before any PRNG draw, so streams are
+// bit-identical).
+func (h *routeHandler) maybeSleep(v *congest.Vertex, pr, T int) {
+	if len(h.queue) > 0 && pr+1 < T && len(h.samePorts) > 0 {
+		return // forwarding continues next round
+	}
+	next := h.total // the mandatory output round
+	if h.isLeader && pr < T+1 {
+		next = T + 1 // the respond round
+	}
+	for _, ps := range h.reverse {
+		if ps.round > pr && ps.round < next {
+			next = ps.round
+		}
+	}
+	v.SleepUntil(next + 1)
 }
 
 func (h *routeHandler) forwardStep(v *congest.Vertex, pr int) {
 	if len(h.queue) == 0 || len(h.samePorts) == 0 {
 		return
-	}
-	if h.portStamp == nil {
-		h.portStamp = make([]int, v.Degree())
 	}
 	// Compact waiting tokens in place: the write index never overtakes the
 	// read index, so the queue backing array is reused round after round.
@@ -233,15 +277,15 @@ func (h *routeHandler) leaderRespond(v *congest.Vertex) {
 
 func (h *routeHandler) handleReverseArrival(v *congest.Vertex, tok Token) {
 	k := key(tok)
-	vs := h.visits[k]
-	if len(vs) == 0 {
+	head, seen := h.visitHead[k]
+	if !seen || head < 0 {
 		// No earlier visit: this vertex is the token's origin.
 		h.responses = append(h.responses, tok)
 		return
 	}
-	last := vs[len(vs)-1]
-	h.visits[k] = vs[:len(vs)-1]
-	h.reverse = append(h.reverse, pendingSend{round: h.total - last.round, port: last.port, tok: tok})
+	last := h.visitLog[head]
+	h.visitHead[k] = last.prev
+	h.reverse = append(h.reverse, pendingSend{round: h.total - int(last.round), port: int(last.port), tok: tok})
 }
 
 func (h *routeHandler) flushReverse(v *congest.Vertex, pr int) {
@@ -329,23 +373,35 @@ func exchange(g *graph.Graph, cfg congest.Config, plan Plan, tokens [][]Token, r
 	total := 2*plan.ForwardRounds + 2
 	sim := congest.NewSimulator(g, cfg)
 	e := sim.Start(func(v *congest.Vertex) congest.Handler {
+		// All per-walk state is sized here, at setup: the port stamps, the
+		// token queue (seeded with the vertex's own tokens), and the visit
+		// log that records hop history for the reverse phase. The steady
+		// per-round path then only appends within amortized-grown buffers.
 		h := &routeHandler{
 			plan:         &plan,
 			isLeader:     plan.Leader[v.ID()] == v.ID(),
-			visits:       make(map[[2]int][]visit),
-			absorbLog:    make(map[[2]int]visit),
+			portStamp:    make([]int, v.Degree()),
 			respond:      respond,
 			respondBatch: respondBatch,
 			total:        total,
 		}
-		for i, tok := range tokens[v.ID()] {
-			tok.Origin = v.ID()
-			tok.Seq = i
-			if h.isLeader {
+		own := tokens[v.ID()]
+		if h.isLeader {
+			h.absorbLog = make(map[[2]int]visit, len(own))
+			for i, tok := range own {
+				tok.Origin = v.ID()
+				tok.Seq = i
 				// Leader's own tokens are absorbed locally before round 1.
 				h.absorbed = append(h.absorbed, tok)
 				h.absorbLog[key(tok)] = visit{port: -1, round: 0}
-			} else {
+			}
+		} else {
+			h.visitHead = make(map[[2]int]int32, 2*len(own)+2)
+			h.visitLog = make([]visitEntry, 0, 2*len(own)+2)
+			h.queue = make([]Token, 0, len(own)+2)
+			for i, tok := range own {
+				tok.Origin = v.ID()
+				tok.Seq = i
 				h.queue = append(h.queue, tok)
 			}
 		}

@@ -2,6 +2,7 @@ package solvers
 
 import (
 	"math/rand"
+	"sort"
 
 	"expandergap/internal/graph"
 )
@@ -122,7 +123,15 @@ func CorrelationClusteringLocalSearch(g *graph.Graph, maxPasses int) []int {
 				cands[labels[u]] = true
 			})
 			curScore := vertexScore(g, labels, v, labels[v])
+			// Iterate candidates in sorted order: equal-delta ties must not
+			// be broken by map iteration order, or the local optimum — and
+			// everything downstream of it — flips between runs.
+			labs := make([]int, 0, len(cands))
 			for lab := range cands {
+				labs = append(labs, lab)
+			}
+			sort.Ints(labs)
+			for _, lab := range labs {
 				if lab == labels[v] {
 					continue
 				}
