@@ -53,13 +53,28 @@ func (r *report) find(name string) *record {
 	return nil
 }
 
+// findBaseline returns the named pinned baseline record, or nil.
+func (r *report) findBaseline(name string) *record {
+	for i := range r.Baselines {
+		if r.Baselines[i].Name == name {
+			return &r.Baselines[i]
+		}
+	}
+	return nil
+}
+
 // check compares the fresh report against a committed baseline document and
 // returns the list of regression-gate violations. The gate is deliberately
 // narrow — two invariants the repo promises to hold across PRs:
 //
-//  1. the steady-state Step loop performs zero allocations per round, and
+//  1. the steady-state Step loop performs zero allocations per round,
 //  2. BenchmarkSimulatorFlood's ns/op stays within (1+tolerance)× of the
-//     baseline (CI runner noise is why the default tolerance is 25%).
+//     baseline (CI runner noise is why the default tolerance is 25%),
+//  3. BenchmarkDecomposeE4 allocates at most half the bytes of the pinned
+//     pre-PR5 materializing implementation (the view-refactor criterion), and
+//  4. BenchmarkDecomposeE4's allocs/op does not exceed the committed
+//     baseline run — allocation counts are deterministic, so any growth
+//     means a real regression, not runner noise.
 func check(fresh, base *report, tolerance float64) []string {
 	var violations []string
 	if ss := fresh.find("BenchmarkSimulatorFloodSteadyState"); ss == nil {
@@ -79,11 +94,29 @@ func check(fresh, base *report, tolerance float64) []string {
 			"BenchmarkSimulatorFlood regressed: %.0f ns/op vs baseline %.0f ns/op (limit %.0f, +%.0f%%)",
 			cur.NsPerOp, ref.NsPerOp, ref.NsPerOp*(1+tolerance), tolerance*100))
 	}
+	dec := fresh.find("BenchmarkDecomposeE4")
+	pre := base.findBaseline("BenchmarkDecomposeE4@pre-PR5")
+	decRef := base.find("BenchmarkDecomposeE4")
+	switch {
+	case dec == nil:
+		violations = append(violations, "BenchmarkDecomposeE4 missing from fresh run")
+	case pre == nil:
+		violations = append(violations, "BenchmarkDecomposeE4@pre-PR5 missing from baseline document")
+	case dec.BytesPerOp > pre.BytesPerOp/2:
+		violations = append(violations, fmt.Sprintf(
+			"BenchmarkDecomposeE4 bytes/op %d exceeds half the pre-PR5 materializing baseline (%d/2 = %d)",
+			dec.BytesPerOp, pre.BytesPerOp, pre.BytesPerOp/2))
+	}
+	if dec != nil && decRef != nil && dec.AllocsPerOp > decRef.AllocsPerOp {
+		violations = append(violations, fmt.Sprintf(
+			"BenchmarkDecomposeE4 allocs/op grew: %d vs committed baseline %d",
+			dec.AllocsPerOp, decRef.AllocsPerOp))
+	}
 	return violations
 }
 
 func main() {
-	pr := flag.Int("pr", 4, "PR number recorded in the report (names the default output file)")
+	pr := flag.Int("pr", 5, "PR number recorded in the report (names the default output file)")
 	out := flag.String("out", "", "output file (default BENCH_<pr>.json)")
 	benchtime := flag.String("benchtime", "100ms", "per-benchmark run budget (Go benchtime syntax)")
 	checkPath := flag.String("check", "", "baseline BENCH_<pr>.json to regression-check against (empty disables)")
@@ -114,6 +147,16 @@ func main() {
 			// reference point for the PR 4 sparse-scheduling criterion.
 			{Name: "BenchmarkWalkRoutingGrid@pre-PR4", Iterations: 0,
 				NsPerOp: 35988029, BytesPerOp: 1512464, AllocsPerOp: 10350},
+			// The materializing decomposition and InducedSubgraph on the
+			// pre-CSR graph core (commit 861ee3f, measured 2026-08-06 on the
+			// same container class): the reference points for the PR 5
+			// zero-copy-view criterion (≥2× fewer bytes per decomposition).
+			{Name: "BenchmarkDecomposeE4@pre-PR5", Iterations: 0,
+				NsPerOp: 3535838, BytesPerOp: 319352, AllocsPerOp: 616},
+			{Name: "BenchmarkDecomposeStress@pre-PR5", Iterations: 0,
+				NsPerOp: 18377811, BytesPerOp: 1908857, AllocsPerOp: 8846},
+			{Name: "BenchmarkInducedSubgraphCopy@pre-PR5", Iterations: 0,
+				NsPerOp: 47613, BytesPerOp: 47624, AllocsPerOp: 165},
 		},
 	}
 	for _, bm := range benchmarks.Named() {

@@ -117,7 +117,7 @@ func fill(g *graph.Graph, res *Result) {
 		groups[l] = append(groups[l], v)
 	}
 	for _, members := range groups {
-		sub, _ := g.InducedSubgraph(members)
+		sub := g.Induce(members)
 		if d := sub.Diameter(); d > res.MaxDiameter {
 			res.MaxDiameter = d
 		}

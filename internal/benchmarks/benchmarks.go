@@ -98,6 +98,74 @@ func ExpanderDecompose(b *testing.B) {
 	}
 }
 
+// DecomposeE4 measures the full recursive decomposition at the E4 experiment
+// scale — the 16×16 grid at ε = 0.25, seed 2022 — which is the instance the
+// PR 5 view-refactor allocation criterion is pinned on.
+func DecomposeE4(b *testing.B) {
+	g := graph.Grid(16, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := expander.Decompose(g, 0.25, expander.Options{Seed: 2022}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// DecomposeStress forces deep recursion with many cuts (ε = 0.999, φ = 0.15
+// on the 16×16 grid), so the per-level subgraph cost dominates: the workload
+// most sensitive to view construction versus materialization.
+func DecomposeStress(b *testing.B) {
+	g := graph.Grid(16, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := expander.Decompose(g, 0.999, expander.Options{Seed: 2022, Phi: 0.15}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// planarHalf returns the 256-vertex random maximal planar graph used by the
+// subgraph benchmarks together with its even-vertex half.
+func planarHalf() (*graph.Graph, []int) {
+	rng := rand.New(rand.NewSource(7))
+	g := graph.RandomMaximalPlanar(256, rng)
+	verts := make([]int, 0, g.N()/2)
+	for v := 0; v < g.N(); v += 2 {
+		verts = append(verts, v)
+	}
+	return g, verts
+}
+
+// InduceView measures zero-copy view construction over half the vertices of
+// a 256-vertex maximal planar graph.
+func InduceView(b *testing.B) {
+	g, verts := planarHalf()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sub := g.Induce(verts)
+		if sub.N() != len(verts) {
+			b.Fatal("wrong view size")
+		}
+	}
+}
+
+// InducedSubgraphCopy measures the materializing counterpart of InduceView:
+// the same subset, copied out through a Builder.
+func InducedSubgraphCopy(b *testing.B) {
+	g, verts := planarHalf()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sub, _ := g.InducedSubgraph(verts)
+		if sub.N() != len(verts) {
+			b.Fatal("wrong subgraph size")
+		}
+	}
+}
+
 // MPXClustering measures the distributed exponential-shift clustering.
 func MPXClustering(b *testing.B) {
 	g := graph.Grid(16, 16)
@@ -161,6 +229,10 @@ func Named() []struct {
 		{"BenchmarkSimulatorFlood", SimulatorFlood},
 		{"BenchmarkSimulatorFloodSteadyState", SimulatorFloodSteadyState},
 		{"BenchmarkExpanderDecompose", ExpanderDecompose},
+		{"BenchmarkDecomposeE4", DecomposeE4},
+		{"BenchmarkDecomposeStress", DecomposeStress},
+		{"BenchmarkInduceView", InduceView},
+		{"BenchmarkInducedSubgraphCopy", InducedSubgraphCopy},
 		{"BenchmarkMPXClustering", MPXClustering},
 		{"BenchmarkWalkRoutingGrid", WalkRoutingGrid},
 		{"BenchmarkLubyMIS", LubyMIS},

@@ -19,15 +19,15 @@ import (
 )
 
 // CutSize returns |∂(S)|: the number of edges with exactly one endpoint in s.
-func CutSize(g *graph.Graph, s map[int]bool) int {
-	return len(g.CutEdges(s))
+func CutSize(g graph.G, s map[int]bool) int {
+	return len(graph.CutEdgesOf(g, s))
 }
 
 // CutConductance returns Φ(S) = |∂(S)| / min(vol(S), vol(V\S)) as defined in
 // Section 2 of the paper. By convention Φ(∅) = Φ(V) = 0. A cut with
 // min-volume 0 (isolated vertices only on one side) has conductance +Inf
 // unless it is also edgeless, in which case 0.
-func CutConductance(g *graph.Graph, s map[int]bool) float64 {
+func CutConductance(g graph.G, s map[int]bool) float64 {
 	inCount := 0
 	volS := 0
 	for v := 0; v < g.N(); v++ {
@@ -57,7 +57,7 @@ func CutConductance(g *graph.Graph, s map[int]bool) float64 {
 // CutSparsity returns Ψ(S) = |∂(S)| / min(|S|, |V\S|), the vertex-count
 // analogue of conductance used by the deterministic routing reduction
 // (Lemma 2.5).
-func CutSparsity(g *graph.Graph, s map[int]bool) float64 {
+func CutSparsity(g graph.G, s map[int]bool) float64 {
 	inCount := 0
 	for v := 0; v < g.N(); v++ {
 		if s[v] {
@@ -84,7 +84,7 @@ const MaxExactN = 22
 // disconnected graph the result is 0 (any component is a cut with no
 // crossing edges). An empty or single-vertex graph has conductance 0 by
 // convention.
-func ExactConductance(g *graph.Graph) float64 {
+func ExactConductance(g graph.G) float64 {
 	n := g.N()
 	if n > MaxExactN {
 		panic(fmt.Sprintf("conductance: ExactConductance limited to n <= %d, got %d", MaxExactN, n))
@@ -97,7 +97,7 @@ func ExactConductance(g *graph.Graph) float64 {
 		deg[v] = g.Degree(v)
 	}
 	totalVol := 2 * g.M()
-	edges := g.Edges()
+	edges := graph.EdgesOf(g)
 	best := math.Inf(1)
 	// Fix vertex n-1 outside S to halve the enumeration.
 	for mask := 1; mask < 1<<(n-1); mask++ {
@@ -138,13 +138,44 @@ func ExactConductance(g *graph.Graph) float64 {
 	return best
 }
 
+// flatAdj snapshots g's adjacency into CSR-style offset/neighbor arrays so
+// iteration-heavy spectral loops run over flat slices instead of repeated
+// interface calls (a per-vertex closure passed through an interface escapes
+// to the heap on every call, which the power iteration would otherwise pay
+// n times per iteration). Neighbor order — ascending, the G contract — is
+// preserved, so float accumulation order is unchanged.
+func flatAdj(g graph.G) (off, to []int32) {
+	if c, ok := g.(interface{ AdjacencyCSR() (off, to []int32) }); ok {
+		return c.AdjacencyCSR()
+	}
+	n := g.N()
+	off = make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		off[v+1] = off[v] + int32(g.Degree(v))
+	}
+	to = make([]int32, off[n])
+	pos := 0
+	collect := func(u, _ int) {
+		to[pos] = int32(u)
+		pos++
+	}
+	for v := 0; v < n; v++ {
+		g.ForEachNeighbor(v, collect)
+	}
+	return off, to
+}
+
 // LazyWalkStep advances one step of the uniform lazy random walk: the new
 // distribution is p'(u) = p(u)/2 + Σ_{w∈N(u)} p(w)/(2 deg(w)). dst and src
 // must have length g.N(); dst is overwritten. Vertices of degree 0 keep all
 // their mass.
-func LazyWalkStep(g *graph.Graph, dst, src []float64) {
+func LazyWalkStep(g graph.G, dst, src []float64) {
 	for u := range dst {
 		dst[u] = src[u] / 2
+	}
+	var share float64
+	push := func(u, _ int) {
+		dst[u] += share
 	}
 	for v := 0; v < g.N(); v++ {
 		d := g.Degree(v)
@@ -152,16 +183,14 @@ func LazyWalkStep(g *graph.Graph, dst, src []float64) {
 			dst[v] += src[v] / 2
 			continue
 		}
-		share := src[v] / (2 * float64(d))
-		g.ForEachNeighbor(v, func(u, _ int) {
-			dst[u] += share
-		})
+		share = src[v] / (2 * float64(d))
+		g.ForEachNeighbor(v, push)
 	}
 }
 
 // WalkDistribution returns the exact distribution of a lazy random walk
 // started at src after the given number of steps.
-func WalkDistribution(g *graph.Graph, src, steps int) []float64 {
+func WalkDistribution(g graph.G, src, steps int) []float64 {
 	p := make([]float64, g.N())
 	q := make([]float64, g.N())
 	p[src] = 1
@@ -173,7 +202,7 @@ func WalkDistribution(g *graph.Graph, src, steps int) []float64 {
 }
 
 // StationaryDistribution returns π(u) = deg(u)/vol(V) for a connected graph.
-func StationaryDistribution(g *graph.Graph) []float64 {
+func StationaryDistribution(g graph.G) []float64 {
 	pi := make([]float64, g.N())
 	vol := float64(2 * g.M())
 	if vol == 0 {
@@ -192,7 +221,7 @@ func StationaryDistribution(g *graph.Graph) []float64 {
 // start vertices v and targets u, |p_t^v(u) − π(u)| ≤ π(u)/n. maxSteps caps
 // the search; the boolean result is false if the bound was not reached.
 // Exact (propagates full distributions), so intended for modest n.
-func MixingTime(g *graph.Graph, maxSteps int) (int, bool) {
+func MixingTime(g graph.G, maxSteps int) (int, bool) {
 	n := g.N()
 	if n <= 1 {
 		return 0, true
@@ -235,7 +264,7 @@ func MixingTime(g *graph.Graph, maxSteps int) (int, bool) {
 // power iteration with deflation against the stationary component, using the
 // symmetric normalization D^{-1/2} W D^{1/2}. Returns the gap estimate.
 // For a disconnected graph the gap is ~0.
-func SpectralGap(g *graph.Graph, iters int, rng *rand.Rand) float64 {
+func SpectralGap(g graph.G, iters int, rng *rand.Rand) float64 {
 	n := g.N()
 	if n <= 1 {
 		return 1
@@ -274,18 +303,20 @@ func SpectralGap(g *graph.Graph, iters int, rng *rand.Rand) float64 {
 	}
 	// S = D^{-1/2} W D^{1/2} where W = I/2 + A D^{-1}/2 acting on column
 	// distributions; symmetric form: S = I/2 + D^{-1/2} A D^{-1/2} / 2.
+	off, to := flatAdj(g)
 	apply := func(dst, src []float64) {
 		for i := range dst {
 			dst[i] = src[i] / 2
 		}
 		for v := 0; v < n; v++ {
-			if g.Degree(v) == 0 {
+			if off[v+1] == off[v] {
 				dst[v] += src[v] / 2
 				continue
 			}
-			g.ForEachNeighbor(v, func(u, _ int) {
+			for a := off[v]; a < off[v+1]; a++ {
+				u := to[a]
 				dst[u] += src[v] / (2 * sqrtD[u] * sqrtD[v])
-			})
+			}
 		}
 	}
 	x := make([]float64, n)
@@ -318,7 +349,7 @@ func SpectralGap(g *graph.Graph, iters int, rng *rand.Rand) float64 {
 // minimum conductance, as the set of vertices on the low-score side, along
 // with its conductance. Both sides of the returned cut are non-empty.
 // It returns nil for graphs with fewer than 2 vertices.
-func SweepCut(g *graph.Graph, score []float64) (map[int]bool, float64) {
+func SweepCut(g graph.G, score []float64) (map[int]bool, float64) {
 	n := g.N()
 	if n < 2 {
 		return nil, 0
@@ -336,6 +367,13 @@ func SweepCut(g *graph.Graph, score []float64) (map[int]bool, float64) {
 	inS := make([]bool, n)
 	volS := 0
 	cut := 0
+	countCrossings := func(u, _ int) {
+		if inS[u] {
+			cut--
+		} else {
+			cut++
+		}
+	}
 	totalVol := 2 * g.M()
 	bestPhi := math.Inf(1)
 	bestK := 0
@@ -343,13 +381,7 @@ func SweepCut(g *graph.Graph, score []float64) (map[int]bool, float64) {
 		v := order[k]
 		inS[v] = true
 		volS += g.Degree(v)
-		g.ForEachNeighbor(v, func(u, _ int) {
-			if inS[u] {
-				cut--
-			} else {
-				cut++
-			}
-		})
+		g.ForEachNeighbor(v, countCrossings)
 		minVol := volS
 		if rest := totalVol - volS; rest < minVol {
 			minVol = rest
@@ -382,7 +414,7 @@ func SweepCut(g *graph.Graph, score []float64) (map[int]bool, float64) {
 
 // FiedlerScores returns an approximate second eigenvector of the symmetrized
 // lazy walk (rescaled to act as per-vertex scores), suitable for SweepCut.
-func FiedlerScores(g *graph.Graph, iters int, rng *rand.Rand) []float64 {
+func FiedlerScores(g graph.G, iters int, rng *rand.Rand) []float64 {
 	n := g.N()
 	scores := make([]float64, n)
 	if n <= 2 {
@@ -424,18 +456,20 @@ func FiedlerScores(g *graph.Graph, iters int, rng *rand.Rand) []float64 {
 			v[i] /= s
 		}
 	}
+	off, to := flatAdj(g)
 	apply := func(dst, src []float64) {
 		for i := range dst {
 			dst[i] = src[i] / 2
 		}
 		for v := 0; v < n; v++ {
-			if g.Degree(v) == 0 {
+			if off[v+1] == off[v] {
 				dst[v] += src[v] / 2
 				continue
 			}
-			g.ForEachNeighbor(v, func(u, _ int) {
+			for a := off[v]; a < off[v+1]; a++ {
+				u := to[a]
 				dst[u] += src[v] / (2 * sqrtD[u] * sqrtD[v])
-			})
+			}
 		}
 	}
 	deflate(x)
@@ -462,7 +496,7 @@ type Bounds struct {
 // best spectral sweep cut found (a genuine cut, hence a true upper bound);
 // the lower bound comes from Cheeger's inequality applied to the estimated
 // spectral gap, Φ ≥ gap/2 for the lazy walk normalization.
-func EstimateBounds(g *graph.Graph, iters int, rng *rand.Rand) Bounds {
+func EstimateBounds(g graph.G, iters int, rng *rand.Rand) Bounds {
 	if g.N() <= 1 || g.M() == 0 {
 		return Bounds{}
 	}
@@ -482,7 +516,7 @@ func EstimateBounds(g *graph.Graph, iters int, rng *rand.Rand) Bounds {
 // Conductance returns the exact conductance when n ≤ MaxExactN and otherwise
 // the sweep-cut upper bound (a true cut value). The boolean reports whether
 // the value is exact.
-func Conductance(g *graph.Graph, rng *rand.Rand) (float64, bool) {
+func Conductance(g graph.G, rng *rand.Rand) (float64, bool) {
 	if g.N() <= MaxExactN {
 		return ExactConductance(g), true
 	}

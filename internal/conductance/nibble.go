@@ -6,20 +6,43 @@ import (
 	"expandergap/internal/graph"
 )
 
-// ApproximatePageRank computes an ε-approximate personalized PageRank vector
-// from the seed vertex with teleport probability alpha, using the classic
-// push algorithm (Andersen–Chung–Lang): maintain (p, r) with p the current
-// approximation and r the residual; repeatedly push at vertices whose
-// residual exceeds epsPush·deg. The result satisfies
-// p(v) ≤ ppr(v) ≤ p(v) + epsPush·deg(v) for all v.
-func ApproximatePageRank(g *graph.Graph, seed int, alpha, epsPush float64) map[int]float64 {
-	p := make(map[int]float64)
-	r := map[int]float64{seed: 1}
-	queue := []int{seed}
-	inQueue := map[int]bool{seed: true}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
+// approximatePageRankDense is the push algorithm over dense slices: p and r
+// are indexed by vertex, inQueue tracks queue membership. Dense state keeps
+// the decomposition's inner loop free of per-push map growth; the push order
+// and float arithmetic are identical to the classic formulation.
+func approximatePageRankDense(g graph.G, seed int, alpha, epsPush float64) []float64 {
+	n := g.N()
+	p := make([]float64, n)
+	r := make([]float64, n)
+	inQueue := make([]bool, n)
+	r[seed] = 1
+	// inQueue bounds the outstanding entries by n, so a head-index queue with
+	// capacity n plus compaction never grows past its initial allocation —
+	// the sliding-window `queue = queue[1:]` idiom would reallocate on every
+	// capacity exhaustion even though the live window stays small.
+	queue := make([]int, 1, n)
+	queue[0] = seed
+	head := 0
+	inQueue[seed] = true
+	enqueue := func(v int) {
+		if len(queue) == cap(queue) && head > 0 {
+			live := copy(queue, queue[head:])
+			queue = queue[:live]
+			head = 0
+		}
+		queue = append(queue, v)
+	}
+	var share float64
+	push := func(v, _ int) {
+		r[v] += share
+		if r[v] >= epsPush*float64(g.Degree(v)) && !inQueue[v] {
+			enqueue(v)
+			inQueue[v] = true
+		}
+	}
+	for head < len(queue) {
+		u := queue[head]
+		head++
 		inQueue[u] = false
 		deg := g.Degree(u)
 		if deg == 0 {
@@ -32,19 +55,31 @@ func ApproximatePageRank(g *graph.Graph, seed int, alpha, epsPush float64) map[i
 			continue
 		}
 		p[u] += alpha * ru
-		share := (1 - alpha) * ru / (2 * float64(deg))
+		share = (1 - alpha) * ru / (2 * float64(deg))
 		r[u] = (1 - alpha) * ru / 2
 		if r[u] >= epsPush*float64(deg) && !inQueue[u] {
-			queue = append(queue, u)
+			enqueue(u)
 			inQueue[u] = true
 		}
-		g.ForEachNeighbor(u, func(v, _ int) {
-			r[v] += share
-			if r[v] >= epsPush*float64(g.Degree(v)) && !inQueue[v] {
-				queue = append(queue, v)
-				inQueue[v] = true
-			}
-		})
+		g.ForEachNeighbor(u, push)
+	}
+	return p
+}
+
+// ApproximatePageRank computes an ε-approximate personalized PageRank vector
+// from the seed vertex with teleport probability alpha, using the classic
+// push algorithm (Andersen–Chung–Lang): maintain (p, r) with p the current
+// approximation and r the residual; repeatedly push at vertices whose
+// residual exceeds epsPush·deg. The result satisfies
+// p(v) ≤ ppr(v) ≤ p(v) + epsPush·deg(v) for all v; vertices the push never
+// reached are absent from the returned map.
+func ApproximatePageRank(g graph.G, seed int, alpha, epsPush float64) map[int]float64 {
+	dense := approximatePageRankDense(g, seed, alpha, epsPush)
+	p := make(map[int]float64)
+	for v, pv := range dense {
+		if pv != 0 {
+			p[v] = pv
+		}
 	}
 	return p
 }
@@ -55,8 +90,8 @@ func ApproximatePageRank(g *graph.Graph, seed int, alpha, epsPush float64) map[i
 // ever touches O(1/(alpha·epsPush)) vertices, which is what makes it the
 // local-clustering primitive behind nibble-style expander decompositions.
 // Returns nil when no non-trivial cut exists among touched vertices.
-func Nibble(g *graph.Graph, seed int, alpha, epsPush float64) (map[int]bool, float64) {
-	p := ApproximatePageRank(g, seed, alpha, epsPush)
+func Nibble(g graph.G, seed int, alpha, epsPush float64) (map[int]bool, float64) {
+	p := approximatePageRankDense(g, seed, alpha, epsPush)
 	type scored struct {
 		v     int
 		score float64
@@ -79,22 +114,23 @@ func Nibble(g *graph.Graph, seed int, alpha, epsPush float64) (map[int]bool, flo
 		return order[i].v < order[j].v
 	})
 	totalVol := 2 * g.M()
-	inS := make(map[int]bool, len(order))
+	inS := make([]bool, g.N())
 	volS := 0
 	cut := 0
+	countCrossings := func(u, _ int) {
+		if inS[u] {
+			cut--
+		} else {
+			cut++
+		}
+	}
 	best := -1
 	bestPhi := 2.0
 	for k, sc := range order {
 		v := sc.v
 		inS[v] = true
 		volS += g.Degree(v)
-		g.ForEachNeighbor(v, func(u, _ int) {
-			if inS[u] {
-				cut--
-			} else {
-				cut++
-			}
-		})
+		g.ForEachNeighbor(v, countCrossings)
 		minVol := volS
 		if rest := totalVol - volS; rest < minVol {
 			minVol = rest

@@ -385,7 +385,7 @@ func forwardBudget(g *graph.Graph, dec *expander.Decomposition, phi float64, n i
 		if len(dec.Clusters[i]) <= 1 {
 			continue
 		}
-		sub, _ := dec.ClusterGraph(g, i)
+		sub := dec.ClusterView(g, i)
 		b := 8*sub.M()*maxOf(sub.Diameter(), 1) + 64
 		if b > hitting {
 			hitting = b

@@ -34,9 +34,16 @@ func (d *Decomposition) CutFraction(g *graph.Graph) float64 {
 }
 
 // ClusterGraph returns the induced subgraph of cluster i and the mapping
-// from its local vertex IDs to graph vertex IDs.
+// from its local vertex IDs to graph vertex IDs. It materializes a full
+// copy; read-only consumers should prefer ClusterView.
 func (d *Decomposition) ClusterGraph(g *graph.Graph, i int) (*graph.Graph, []int) {
 	return g.InducedSubgraph(d.Clusters[i])
+}
+
+// ClusterView returns the zero-copy view of cluster i. Cluster vertex lists
+// are sorted ascending, so the view's local IDs coincide with ClusterGraph's.
+func (d *Decomposition) ClusterView(g *graph.Graph, i int) *graph.View {
+	return g.Induce(d.Clusters[i])
 }
 
 // LargestCluster returns the size of the largest cluster.
@@ -80,7 +87,7 @@ func (d *Decomposition) Verify(g *graph.Graph, rng *rand.Rand) Report {
 	}
 	rep.CutOK = float64(len(d.Removed)) <= d.Eps*float64(g.M())+1e-9
 	for i := range d.Clusters {
-		sub, _ := d.ClusterGraph(g, i)
+		sub := d.ClusterView(g, i)
 		if sub.N() <= 1 {
 			continue
 		}
@@ -173,27 +180,16 @@ func Decompose(g *graph.Graph, eps float64, opts Options) (*Decomposition, error
 		if len(verts) == 0 {
 			return
 		}
-		sub, toOld := g.InducedSubgraph(verts)
-		// Drop edges already removed (recursion operates on the graph minus
-		// removed edges, which InducedSubgraph does not know about).
-		drop := make(map[int]bool)
-		for i := 0; i < sub.M(); i++ {
-			e := sub.EdgeAt(i)
-			oi, ok := g.EdgeIndex(toOld[e.U], toOld[e.V])
-			if ok && removed[oi] {
-				drop[i] = true
-			}
-		}
-		if len(drop) > 0 {
-			sub = sub.RemoveEdges(drop)
-		}
+		// Zero-copy view of the piece, minus the edges removed by earlier
+		// cuts (the recursion operates on the graph minus removed edges).
+		sub := g.InduceFiltered(verts, func(ei int) bool { return removed[ei] })
 		// Split disconnected pieces first: components are free clusters.
 		comps := sub.Components()
 		if len(comps) > 1 {
 			for _, comp := range comps {
 				orig := make([]int, len(comp))
 				for i, v := range comp {
-					orig[i] = toOld[v]
+					orig[i] = sub.BaseVertex(v)
 				}
 				recurse(orig)
 			}
@@ -210,7 +206,8 @@ func Decompose(g *graph.Graph, eps float64, opts Options) (*Decomposition, error
 		}
 		// Remove the cut edges (in g's indexing) and recurse on both sides.
 		var sideA, sideB []int
-		for i, v := range toOld {
+		for i := 0; i < sub.N(); i++ {
+			v := sub.BaseVertex(i)
 			if cut[i] {
 				sideA = append(sideA, v)
 			} else {
@@ -218,12 +215,7 @@ func Decompose(g *graph.Graph, eps float64, opts Options) (*Decomposition, error
 			}
 		}
 		for _, ei := range sub.CutEdges(cut) {
-			e := sub.EdgeAt(ei)
-			oi, ok := g.EdgeIndex(toOld[e.U], toOld[e.V])
-			if !ok {
-				panic("expander: cut edge missing from parent graph")
-			}
-			removed[oi] = true
+			removed[sub.BaseEdge(ei)] = true
 		}
 		recurse(sideA)
 		recurse(sideB)
@@ -256,7 +248,7 @@ func (d *Decomposition) addCluster(verts []int) {
 // small graphs, otherwise via spectral sweeps from a few random starts plus
 // a BFS-order sweep. Returns the cut (as a local-vertex set) and its
 // conductance.
-func bestSparseCut(sub *graph.Graph, iters int, rng *rand.Rand, deterministic bool) (map[int]bool, float64) {
+func bestSparseCut(sub graph.G, iters int, rng *rand.Rand, deterministic bool) (map[int]bool, float64) {
 	n := sub.N()
 	if n < 2 {
 		return nil, math.Inf(1)
@@ -281,7 +273,7 @@ func bestSparseCut(sub *graph.Graph, iters int, rng *rand.Rand, deterministic bo
 		}
 	}
 	// BFS sweep from an arbitrary vertex as a combinatorial fallback.
-	dist, _ := sub.BFS(0)
+	dist, _ := graph.BFSOf(sub, 0)
 	scores := make([]float64, n)
 	for v := range scores {
 		if dist[v] < 0 {
@@ -310,14 +302,14 @@ func bestSparseCut(sub *graph.Graph, iters int, rng *rand.Rand, deterministic bo
 }
 
 // exactSparseCut enumerates all cuts of a small graph.
-func exactSparseCut(sub *graph.Graph) (map[int]bool, float64) {
+func exactSparseCut(sub graph.G) (map[int]bool, float64) {
 	n := sub.N()
 	deg := make([]int, n)
 	for v := 0; v < n; v++ {
 		deg[v] = sub.Degree(v)
 	}
 	totalVol := 2 * sub.M()
-	edges := sub.Edges()
+	edges := graph.EdgesOf(sub)
 	bestPhi := math.Inf(1)
 	bestMask := 0
 	for mask := 1; mask < 1<<(n-1); mask++ {

@@ -45,7 +45,7 @@ func (d *Decomposition) ComputeStats(g *graph.Graph, rng *rand.Rand) Stats {
 			st.Singletons++
 			continue
 		}
-		sub, _ := d.ClusterGraph(g, i)
+		sub := d.ClusterView(g, i)
 		if dd := sub.Diameter(); dd > st.MaxDiameter {
 			st.MaxDiameter = dd
 		}

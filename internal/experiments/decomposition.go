@@ -176,7 +176,7 @@ func E3HighDegree(sizes []int, eps float64, seed int64) Outcome {
 				if len(c) <= 1 {
 					continue
 				}
-				sub, _ := d.ClusterGraph(g, i)
+				sub := d.ClusterView(g, i)
 				w := separator.HighDegreeWitness(sub, d.Phi)
 				if w < minWitness {
 					minWitness = w
@@ -224,7 +224,7 @@ func E4WalkRouting(sizes []int, eps float64, seed int64, workers int, obs *conge
 			}
 			budget := 0
 			for i := range d.Clusters {
-				sub, _ := d.ClusterGraph(g, i)
+				sub := d.ClusterView(g, i)
 				if hb := 8*sub.M()*maxInt(sub.Diameter(), 1) + 64; hb > budget {
 					budget = hb
 				}

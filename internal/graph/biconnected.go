@@ -50,22 +50,21 @@ func (g *Graph) BiconnectedComponents() [][]int {
 		for len(stack) > 0 {
 			f := &stack[len(stack)-1]
 			v := f.v
-			if f.childIdx < len(g.adj[v]) {
-				he := g.adj[v][f.childIdx]
+			if f.childIdx < g.Degree(v) {
+				u, idx := g.arc(v, f.childIdx)
 				f.childIdx++
-				if he.idx == f.parentEdge {
+				if idx == f.parentEdge {
 					continue
 				}
-				u := he.to
 				if disc[u] == -1 {
-					edgeStack = append(edgeStack, he.idx)
+					edgeStack = append(edgeStack, idx)
 					disc[u] = timer
 					low[u] = timer
 					timer++
-					stack = append(stack, frame{v: u, parentEdge: he.idx})
+					stack = append(stack, frame{v: u, parentEdge: idx})
 				} else if disc[u] < disc[v] {
 					// Back edge.
-					edgeStack = append(edgeStack, he.idx)
+					edgeStack = append(edgeStack, idx)
 					if disc[u] < low[v] {
 						low[v] = disc[u]
 					}

@@ -1,0 +1,34 @@
+// Package graph provides the static undirected graph representation shared by
+// every subsystem in this repository: the CONGEST simulator, the expander
+// decomposition, the sequential solvers, and the experiment harness.
+//
+// # Representation
+//
+// Graphs are immutable once built and stored in compressed sparse row (CSR)
+// form: three flat arrays (row offsets, neighbor IDs, undirected edge
+// indices) hold every adjacency, with each row sorted by ascending neighbor
+// ID. Construction goes through Builder, which deduplicates parallel edges,
+// rejects self-loops, and assigns canonical (sorted) edge indices that are
+// stable across insertion orders. Edge weights (for maximum weight matching)
+// and edge signs (for correlation clustering) are optional per-edge
+// annotations carried by parallel arrays indexed by edge index. Aggregate
+// quantities that would otherwise need a scan — MaxDegree, MinDegree,
+// MaxWeight, TotalWeight — are computed once at build time and served in
+// O(1).
+//
+// # Views
+//
+// The recursive algorithms in this repository (expander decomposition, ball
+// carving, cluster verification) repeatedly restrict a graph to a vertex
+// subset. Materializing each restriction with InducedSubgraph costs a full
+// Builder pass per recursion level. The View type avoids that: Induce and
+// InduceFiltered build a zero-copy subgraph view that shares the backing
+// graph's edge list, weights and signs, adding only a small local adjacency
+// index. Both *Graph and *View satisfy the read-only G interface, and the
+// package-level helpers (BFSOf, ComponentsOf, DiameterOf, ...) run on
+// either. View.Materialize converts a view into the equivalent standalone
+// *Graph — bit-identical to the InducedSubgraph result — when an independent
+// copy is genuinely needed (for example to hand to a solver that outlives
+// the base graph). See DESIGN.md §3.11 for the aliasing and ownership
+// contract.
+package graph

@@ -1,0 +1,195 @@
+package graph
+
+// This file holds the traversal and aggregate helpers that run on any G —
+// a materialized *Graph or a zero-copy *View — so the decomposition stack
+// can recurse on views without materializing a subgraph per level. Outputs
+// are deterministic and identical to the corresponding *Graph methods:
+// neighbor iteration is ascending, components are ordered by smallest
+// contained vertex, and ties break on vertex ID.
+
+// BFSOf runs a breadth-first search from src and returns the distance slice
+// (dist[v] == -1 for unreachable v) and the parent slice (parent[src] == src,
+// parent[v] == -1 for unreachable v).
+func BFSOf(g G, src int) (dist, parent []int) {
+	n := g.N()
+	dist = make([]int, n)
+	parent = make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+		parent[i] = -1
+	}
+	dist[src] = 0
+	parent[src] = src
+	// Head-index queue sized for the worst case (every vertex is enqueued at
+	// most once), so the append below never reallocates. The visitor closure
+	// is hoisted out of the loop: recreating it per vertex would
+	// heap-allocate on every interface call.
+	queue := make([]int, 1, n)
+	queue[0] = src
+	head := 0
+	cur := src
+	visit := func(u, _ int) {
+		if dist[u] == -1 {
+			dist[u] = dist[cur] + 1
+			parent[u] = cur
+			queue = append(queue, u)
+		}
+	}
+	for head < len(queue) {
+		cur = queue[head]
+		head++
+		g.ForEachNeighbor(cur, visit)
+	}
+	return dist, parent
+}
+
+// EccentricityOf returns the maximum finite BFS distance from src within its
+// connected component.
+func EccentricityOf(g G, src int) int {
+	dist, _ := BFSOf(g, src)
+	ecc := 0
+	for _, d := range dist {
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// DiameterOf returns the exact diameter of g (the maximum eccentricity over
+// all vertices), treating each connected component separately and returning
+// the largest value. It runs a BFS per vertex, so it is intended for the
+// modest graph sizes used in experiments. An empty graph has diameter 0.
+func DiameterOf(g G) int {
+	diam := 0
+	for v := 0; v < g.N(); v++ {
+		if ecc := EccentricityOf(g, v); ecc > diam {
+			diam = ecc
+		}
+	}
+	return diam
+}
+
+// ConnectedOf reports whether g is connected. The empty graph and singletons
+// are connected.
+func ConnectedOf(g G) bool {
+	if g.N() <= 1 {
+		return true
+	}
+	dist, _ := BFSOf(g, 0)
+	for _, d := range dist {
+		if d == -1 {
+			return false
+		}
+	}
+	return true
+}
+
+// ComponentsOf returns the connected components of g as slices of vertex IDs
+// in ascending order, ordered by their smallest vertex.
+func ComponentsOf(g G) [][]int {
+	n := g.N()
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var comps [][]int
+	// As in BFSOf: a head-index queue with worst-case capacity plus a
+	// hoisted visitor, so component discovery allocates O(components), not
+	// O(vertices).
+	queue := make([]int, 0, n)
+	head := 0
+	id := 0
+	visit := func(w, _ int) {
+		if comp[w] == -1 {
+			comp[w] = id
+			queue = append(queue, w)
+		}
+	}
+	for v := 0; v < n; v++ {
+		if comp[v] != -1 {
+			continue
+		}
+		id = len(comps)
+		queue = append(queue[:0], v)
+		head = 0
+		comp[v] = id
+		var members []int
+		for head < len(queue) {
+			u := queue[head]
+			head++
+			members = append(members, u)
+			g.ForEachNeighbor(u, visit)
+		}
+		comps = append(comps, members)
+	}
+	for _, c := range comps {
+		sortInts(c)
+	}
+	return comps
+}
+
+// EdgesOf returns a copy of g's edge list in canonical index order.
+func EdgesOf(g G) []Edge {
+	out := make([]Edge, g.M())
+	for i := range out {
+		out[i] = g.EdgeAt(i)
+	}
+	return out
+}
+
+// CutEdgesOf returns the indices of edges with exactly one endpoint in s, in
+// ascending index order.
+func CutEdgesOf(g G, s map[int]bool) []int {
+	var out []int
+	for idx, m := 0, g.M(); idx < m; idx++ {
+		e := g.EdgeAt(idx)
+		if s[e.U] != s[e.V] {
+			out = append(out, idx)
+		}
+	}
+	return out
+}
+
+// VolumeOf returns the sum of degrees of the vertices in s.
+func VolumeOf(g G, s []int) int {
+	vol := 0
+	for _, v := range s {
+		vol += g.Degree(v)
+	}
+	return vol
+}
+
+// MaxDegreeOf returns the maximum vertex degree of g, using the O(1) cached
+// value when the implementation exposes one (*Graph and *View both do).
+func MaxDegreeOf(g G) int {
+	if m, ok := g.(interface{ MaxDegree() int }); ok {
+		return m.MaxDegree()
+	}
+	max := 0
+	for v := 0; v < g.N(); v++ {
+		if d := g.Degree(v); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// WeightedOf reports whether g carries edge weights, when the implementation
+// exposes it (*Graph and *View both do; unknown implementations report
+// false).
+func WeightedOf(g G) bool {
+	if w, ok := g.(interface{ Weighted() bool }); ok {
+		return w.Weighted()
+	}
+	return false
+}
+
+// SignedOf reports whether g carries edge signs, with the same fallback as
+// WeightedOf.
+func SignedOf(g G) bool {
+	if s, ok := g.(interface{ Signed() bool }); ok {
+		return s.Signed()
+	}
+	return false
+}

@@ -1,16 +1,8 @@
-// Package graph provides the static undirected graph representation shared by
-// every subsystem in this repository: the CONGEST simulator, the expander
-// decomposition, the sequential solvers, and the experiment harness.
-//
-// Graphs are immutable once built. Construction goes through Builder, which
-// deduplicates parallel edges, rejects self-loops, and produces compact
-// adjacency structures with stable edge indices. Edge weights (for maximum
-// weight matching) and edge signs (for correlation clustering) are optional
-// per-edge annotations carried by the same structure.
 package graph
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -40,25 +32,27 @@ func (e Edge) Other(v int) int {
 	}
 }
 
-// halfEdge is one direction of an undirected edge as stored in an adjacency
-// list. idx is the index of the undirected edge in Graph.edges, shared by the
-// two opposite half-edges.
-type halfEdge struct {
-	to  int
-	idx int
-}
-
-// Graph is an immutable simple undirected graph on vertices 0..n-1.
+// Graph is an immutable simple undirected graph on vertices 0..n-1, stored in
+// compressed sparse row (CSR) form: the half-edges of vertex v occupy the
+// index range adjOff[v]..adjOff[v+1] of the flat adjTo/adjIdx arrays, sorted
+// by ascending neighbor ID. adjIdx carries the undirected edge index shared
+// by the two opposite half-edges, so per-edge annotations (weight, sign) are
+// one array lookup away from any adjacency scan.
 //
 // The zero value is the empty graph with no vertices. Use a Builder to create
 // non-trivial graphs.
 type Graph struct {
 	n      int
-	adj    [][]halfEdge
+	adjOff []int32 // n+1 row offsets into adjTo/adjIdx
+	adjTo  []int32 // neighbor IDs, ascending within each row
+	adjIdx []int32 // undirected edge index per half-edge
 	edges  []Edge
 	weight []int64 // nil when the graph is unweighted
 	sign   []int8  // nil when the graph is unsigned; otherwise +1 or -1 per edge
 	maxDeg int     // cached max degree, computed once at build time
+	minDeg int     // cached min degree, computed once at build time
+	maxW   int64   // cached MaxWeight, computed once at build time
+	totalW int64   // cached TotalWeight, computed once at build time
 }
 
 // N returns the number of vertices.
@@ -68,42 +62,55 @@ func (g *Graph) N() int { return g.n }
 func (g *Graph) M() int { return len(g.edges) }
 
 // Degree returns the degree of vertex v.
-func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+func (g *Graph) Degree(v int) int { return int(g.adjOff[v+1] - g.adjOff[v]) }
 
 // MaxDegree returns the maximum vertex degree (0 for an empty graph). The
 // value is computed once when the Builder finalizes the graph, so this is
 // O(1).
 func (g *Graph) MaxDegree() int { return g.maxDeg }
 
-// MinDegree returns the minimum vertex degree, or 0 for an empty graph.
-func (g *Graph) MinDegree() int {
-	if g.n == 0 {
-		return 0
-	}
-	min := len(g.adj[0])
-	for v := 1; v < g.n; v++ {
-		if d := len(g.adj[v]); d < min {
-			min = d
-		}
-	}
-	return min
+// MinDegree returns the minimum vertex degree, or 0 for an empty graph. Like
+// MaxDegree, the value is cached at build time, so this is O(1).
+func (g *Graph) MinDegree() int { return g.minDeg }
+
+// arc returns the i-th half-edge of v as (neighbor, undirected edge index).
+func (g *Graph) arc(v, i int) (to, idx int) {
+	p := int(g.adjOff[v]) + i
+	return int(g.adjTo[p]), int(g.adjIdx[p])
 }
 
+// AdjacencyCSR exposes the graph's compressed-sparse-row adjacency: off has
+// N()+1 row offsets and to lists each vertex's neighbors ascending, so row v
+// is to[off[v]:off[v+1]]. The slices alias the graph's internal arrays and
+// MUST NOT be modified; they let iteration-heavy numeric loops (power
+// iteration, walk evolution) run over flat arrays without copying or
+// per-vertex interface calls.
+func (g *Graph) AdjacencyCSR() (off, to []int32) { return g.adjOff, g.adjTo }
+
 // Neighbors returns the neighbors of v in ascending order. The returned slice
-// is owned by the caller.
+// is owned by the caller. Hot paths should prefer ForEachNeighbor or
+// NeighborAt, which do not allocate.
 func (g *Graph) Neighbors(v int) []int {
-	out := make([]int, len(g.adj[v]))
-	for i, he := range g.adj[v] {
-		out[i] = he.to
+	lo, hi := g.adjOff[v], g.adjOff[v+1]
+	out := make([]int, hi-lo)
+	for i := lo; i < hi; i++ {
+		out[i-lo] = int(g.adjTo[i])
 	}
 	return out
+}
+
+// NeighborAt returns the i-th neighbor of v (0 ≤ i < Degree(v)), in ascending
+// neighbor order, without allocating. It is the cursor-style companion to
+// ForEachNeighbor for traversals that need to pause and resume.
+func (g *Graph) NeighborAt(v, i int) int {
+	return int(g.adjTo[int(g.adjOff[v])+i])
 }
 
 // ForEachNeighbor calls fn for every neighbor u of v with the undirected edge
 // index, in ascending neighbor order.
 func (g *Graph) ForEachNeighbor(v int, fn func(u, edgeIdx int)) {
-	for _, he := range g.adj[v] {
-		fn(he.to, he.idx)
+	for i := g.adjOff[v]; i < g.adjOff[v+1]; i++ {
+		fn(int(g.adjTo[i]), int(g.adjIdx[i]))
 	}
 }
 
@@ -128,23 +135,22 @@ func (g *Graph) EdgeIndex(u, v int) (int, bool) {
 	if u < 0 || u >= g.n || v < 0 || v >= g.n || u == v {
 		return 0, false
 	}
-	// Binary search the (sorted) adjacency list of the lower-degree endpoint.
-	a := g.adj[u]
-	if len(g.adj[v]) < len(a) {
-		a = g.adj[v]
+	// Binary search the (sorted) adjacency row of the lower-degree endpoint.
+	if g.Degree(v) < g.Degree(u) {
 		u, v = v, u
 	}
-	lo, hi := 0, len(a)
+	lo, hi := int(g.adjOff[u]), int(g.adjOff[u+1])
+	end, target := hi, int32(v)
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if a[mid].to < v {
+		if g.adjTo[mid] < target {
 			lo = mid + 1
 		} else {
 			hi = mid
 		}
 	}
-	if lo < len(a) && a[lo].to == v {
-		return a[lo].idx, true
+	if lo < end && g.adjTo[lo] == target {
+		return int(g.adjIdx[lo]), true
 	}
 	return 0, false
 }
@@ -163,22 +169,8 @@ func (g *Graph) Weight(idx int) int64 {
 }
 
 // MaxWeight returns the maximum edge weight W (1 for unweighted graphs with
-// at least one edge, 0 for edgeless graphs).
-func (g *Graph) MaxWeight() int64 {
-	if len(g.edges) == 0 {
-		return 0
-	}
-	if g.weight == nil {
-		return 1
-	}
-	max := g.weight[0]
-	for _, w := range g.weight[1:] {
-		if w > max {
-			max = w
-		}
-	}
-	return max
-}
+// at least one edge, 0 for edgeless graphs). Cached at build time, so O(1).
+func (g *Graph) MaxWeight() int64 { return g.maxW }
 
 // Signed reports whether the graph carries correlation-clustering edge signs.
 func (g *Graph) Signed() bool { return g.sign != nil }
@@ -191,20 +183,15 @@ func (g *Graph) Sign(idx int) int8 {
 	return g.sign[idx]
 }
 
-// TotalWeight returns the sum of all edge weights.
-func (g *Graph) TotalWeight() int64 {
-	var sum int64
-	for i := range g.edges {
-		sum += g.Weight(i)
-	}
-	return sum
-}
+// TotalWeight returns the sum of all edge weights. Cached at build time, so
+// O(1).
+func (g *Graph) TotalWeight() int64 { return g.totalW }
 
 // Volume returns the sum of degrees of the vertices in s.
 func (g *Graph) Volume(s []int) int {
 	vol := 0
 	for _, v := range s {
-		vol += len(g.adj[v])
+		vol += g.Degree(v)
 	}
 	return vol
 }
@@ -219,11 +206,16 @@ func (g *Graph) EdgeDensity() float64 {
 
 // Clone returns a deep copy of g.
 func (g *Graph) Clone() *Graph {
-	cp := &Graph{n: g.n, maxDeg: g.maxDeg}
-	cp.adj = make([][]halfEdge, g.n)
-	for v := range g.adj {
-		cp.adj[v] = append([]halfEdge(nil), g.adj[v]...)
+	cp := &Graph{
+		n:      g.n,
+		maxDeg: g.maxDeg,
+		minDeg: g.minDeg,
+		maxW:   g.maxW,
+		totalW: g.totalW,
 	}
+	cp.adjOff = append([]int32(nil), g.adjOff...)
+	cp.adjTo = append([]int32(nil), g.adjTo...)
+	cp.adjIdx = append([]int32(nil), g.adjIdx...)
 	cp.edges = append([]Edge(nil), g.edges...)
 	if g.weight != nil {
 		cp.weight = append([]int64(nil), g.weight...)
@@ -318,6 +310,9 @@ func (b *Builder) HasEdge(u, v int) bool {
 // Graph finalizes the builder into an immutable Graph. The builder remains
 // usable (further edges may be added and Graph called again).
 func (b *Builder) Graph() *Graph {
+	if b.n > math.MaxInt32 || len(b.pending) > math.MaxInt32/2 {
+		panic(fmt.Sprintf("graph: n=%d m=%d exceeds the CSR int32 index range", b.n, len(b.pending)))
+	}
 	g := &Graph{n: b.n}
 	// Sort edges canonically so edge indices are deterministic regardless of
 	// insertion order.
@@ -348,34 +343,87 @@ func (b *Builder) Graph() *Graph {
 			g.sign[newIdx] = b.sign[oldIdx]
 		}
 	}
-	g.adj = make([][]halfEdge, b.n)
-	deg := make([]int, b.n)
+	// CSR construction: count degrees into the offset array, prefix-sum, then
+	// place both half-edges of every edge in canonical order. Because edges
+	// are sorted by (U, V), every row comes out sorted by neighbor ID: row v
+	// first receives its lower neighbors (from edges with U < v, in ascending
+	// U order) and then its higher neighbors (from edges with U = v, in
+	// ascending V order).
+	g.adjOff = make([]int32, b.n+1)
 	for _, e := range g.edges {
-		deg[e.U]++
-		deg[e.V]++
+		g.adjOff[e.U+1]++
+		g.adjOff[e.V+1]++
 	}
-	for v := range g.adj {
-		g.adj[v] = make([]halfEdge, 0, deg[v])
-		if deg[v] > g.maxDeg {
-			g.maxDeg = deg[v]
-		}
+	for v := 0; v < b.n; v++ {
+		g.adjOff[v+1] += g.adjOff[v]
 	}
+	g.adjTo = make([]int32, 2*len(g.edges))
+	g.adjIdx = make([]int32, 2*len(g.edges))
+	cursor := make([]int32, b.n)
+	copy(cursor, g.adjOff[:b.n])
 	for idx, e := range g.edges {
-		g.adj[e.U] = append(g.adj[e.U], halfEdge{to: e.V, idx: idx})
-		g.adj[e.V] = append(g.adj[e.V], halfEdge{to: e.U, idx: idx})
+		g.adjTo[cursor[e.U]] = int32(e.V)
+		g.adjIdx[cursor[e.U]] = int32(idx)
+		cursor[e.U]++
+		g.adjTo[cursor[e.V]] = int32(e.U)
+		g.adjIdx[cursor[e.V]] = int32(idx)
+		cursor[e.V]++
 	}
-	// Edges were appended in ascending canonical order, so each adjacency
-	// list is already sorted by neighbor ID; assert in debug-ish fashion.
-	for v := range g.adj {
-		a := g.adj[v]
-		for i := 1; i < len(a); i++ {
-			if a[i-1].to >= a[i].to {
-				sort.Slice(a, func(x, y int) bool { return a[x].to < a[y].to })
+	g.finishStats()
+	// Assert the sorted-row invariant in debug-ish fashion, repairing with a
+	// paired insertion sort if it ever fails.
+	for v := 0; v < b.n; v++ {
+		lo, hi := int(g.adjOff[v]), int(g.adjOff[v+1])
+		for i := lo + 1; i < hi; i++ {
+			if g.adjTo[i-1] >= g.adjTo[i] {
+				sortRow(g.adjTo[lo:hi], g.adjIdx[lo:hi])
 				break
 			}
 		}
 	}
 	return g
+}
+
+// finishStats fills the cached aggregate fields (max/min degree, max/total
+// weight) after the CSR arrays are in place.
+func (g *Graph) finishStats() {
+	if g.n > 0 {
+		g.minDeg = g.Degree(0)
+		for v := 0; v < g.n; v++ {
+			d := g.Degree(v)
+			if d > g.maxDeg {
+				g.maxDeg = d
+			}
+			if d < g.minDeg {
+				g.minDeg = d
+			}
+		}
+	}
+	if len(g.edges) > 0 {
+		g.maxW = 1
+		if g.weight != nil {
+			g.maxW = g.weight[0]
+			for _, w := range g.weight {
+				if w > g.maxW {
+					g.maxW = w
+				}
+				g.totalW += w
+			}
+		} else {
+			g.totalW = int64(len(g.edges))
+		}
+	}
+}
+
+// sortRow sorts one adjacency row by neighbor ID, keeping the parallel edge
+// indices aligned. Rows are produced sorted, so this is a cold repair path.
+func sortRow(to, idx []int32) {
+	for i := 1; i < len(to); i++ {
+		for j := i; j > 0 && to[j-1] > to[j]; j-- {
+			to[j-1], to[j] = to[j], to[j-1]
+			idx[j-1], idx[j] = idx[j], idx[j-1]
+		}
+	}
 }
 
 // FromEdges builds an unweighted graph on n vertices from an edge list.
@@ -391,6 +439,9 @@ func FromEdges(n int, edges []Edge) *Graph {
 // along with the mapping from new vertex IDs (0..len(verts)-1) back to the
 // original IDs. Weights and signs are preserved. Duplicate vertices in verts
 // panic.
+//
+// This materializes a full copy. When the subgraph is only read (degree
+// scans, BFS, conductance sweeps), prefer the zero-copy Induce view.
 func (g *Graph) InducedSubgraph(verts []int) (*Graph, []int) {
 	toNew := make(map[int]int, len(verts))
 	toOld := make([]int, len(verts))
@@ -406,20 +457,20 @@ func (g *Graph) InducedSubgraph(verts []int) (*Graph, []int) {
 	}
 	b := NewBuilder(len(verts))
 	for i, v := range toOld {
-		for _, he := range g.adj[v] {
-			j, ok := toNew[he.to]
+		g.ForEachNeighbor(v, func(to, idx int) {
+			j, ok := toNew[to]
 			if !ok || j <= i {
-				continue
+				return
 			}
 			switch {
 			case g.weight != nil:
-				b.AddWeightedEdge(i, j, g.weight[he.idx])
+				b.AddWeightedEdge(i, j, g.weight[idx])
 			case g.sign != nil:
-				b.AddSignedEdge(i, j, g.sign[he.idx])
+				b.AddSignedEdge(i, j, g.sign[idx])
 			default:
 				b.AddEdge(i, j)
 			}
-		}
+		})
 	}
 	return b.Graph(), toOld
 }

@@ -3,106 +3,25 @@ package graph
 // BFS runs a breadth-first search from src and returns the distance slice
 // (dist[v] == -1 for unreachable v) and the parent slice (parent[src] == src,
 // parent[v] == -1 for unreachable v).
-func (g *Graph) BFS(src int) (dist, parent []int) {
-	dist = make([]int, g.n)
-	parent = make([]int, g.n)
-	for i := range dist {
-		dist[i] = -1
-		parent[i] = -1
-	}
-	dist[src] = 0
-	parent[src] = src
-	queue := []int{src}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		for _, he := range g.adj[v] {
-			if dist[he.to] == -1 {
-				dist[he.to] = dist[v] + 1
-				parent[he.to] = v
-				queue = append(queue, he.to)
-			}
-		}
-	}
-	return dist, parent
-}
+func (g *Graph) BFS(src int) (dist, parent []int) { return BFSOf(g, src) }
 
 // Eccentricity returns the maximum finite BFS distance from src within its
 // connected component.
-func (g *Graph) Eccentricity(src int) int {
-	dist, _ := g.BFS(src)
-	ecc := 0
-	for _, d := range dist {
-		if d > ecc {
-			ecc = d
-		}
-	}
-	return ecc
-}
+func (g *Graph) Eccentricity(src int) int { return EccentricityOf(g, src) }
 
 // Diameter returns the exact diameter of g (the maximum eccentricity over all
 // vertices), treating each connected component separately and returning the
 // largest value. It runs a BFS per vertex, so it is intended for the modest
 // graph sizes used in experiments. An empty graph has diameter 0.
-func (g *Graph) Diameter() int {
-	diam := 0
-	for v := 0; v < g.n; v++ {
-		if ecc := g.Eccentricity(v); ecc > diam {
-			diam = ecc
-		}
-	}
-	return diam
-}
+func (g *Graph) Diameter() int { return DiameterOf(g) }
 
 // Connected reports whether g is connected. The empty graph and singletons
 // are connected.
-func (g *Graph) Connected() bool {
-	if g.n <= 1 {
-		return true
-	}
-	dist, _ := g.BFS(0)
-	for _, d := range dist {
-		if d == -1 {
-			return false
-		}
-	}
-	return true
-}
+func (g *Graph) Connected() bool { return ConnectedOf(g) }
 
 // Components returns the connected components of g as slices of vertex IDs
 // in ascending order, ordered by their smallest vertex.
-func (g *Graph) Components() [][]int {
-	comp := make([]int, g.n)
-	for i := range comp {
-		comp[i] = -1
-	}
-	var comps [][]int
-	for v := 0; v < g.n; v++ {
-		if comp[v] != -1 {
-			continue
-		}
-		id := len(comps)
-		queue := []int{v}
-		comp[v] = id
-		var members []int
-		for len(queue) > 0 {
-			u := queue[0]
-			queue = queue[1:]
-			members = append(members, u)
-			for _, he := range g.adj[u] {
-				if comp[he.to] == -1 {
-					comp[he.to] = id
-					queue = append(queue, he.to)
-				}
-			}
-		}
-		comps = append(comps, members)
-	}
-	for _, c := range comps {
-		sortInts(c)
-	}
-	return comps
-}
+func (g *Graph) Components() [][]int { return ComponentsOf(g) }
 
 // ComponentIDs returns, for each vertex, the ID of its connected component
 // (components numbered by smallest contained vertex, in order).
@@ -121,10 +40,11 @@ func (g *Graph) ComponentIDs() []int {
 		for len(queue) > 0 {
 			u := queue[0]
 			queue = queue[1:]
-			for _, he := range g.adj[u] {
-				if ids[he.to] == -1 {
-					ids[he.to] = next
-					queue = append(queue, he.to)
+			for i := g.adjOff[u]; i < g.adjOff[u+1]; i++ {
+				w := int(g.adjTo[i])
+				if ids[w] == -1 {
+					ids[w] = next
+					queue = append(queue, w)
 				}
 			}
 		}
@@ -173,8 +93,8 @@ func (g *Graph) DFSOrder() []int {
 			stack = stack[:len(stack)-1]
 			order = append(order, v)
 			// Push neighbors in reverse so the smallest is processed first.
-			for i := len(g.adj[v]) - 1; i >= 0; i-- {
-				u := g.adj[v][i].to
+			for i := g.adjOff[v+1] - 1; i >= g.adjOff[v]; i-- {
+				u := int(g.adjTo[i])
 				if !visited[u] {
 					visited[u] = true
 					stack = append(stack, u)

@@ -225,9 +225,8 @@ func findCycle(g *graph.Graph) []int {
 		for len(stack) > 0 {
 			top := &stack[len(stack)-1]
 			v := top.v
-			nbrs := g.Neighbors(v)
-			if top.next < len(nbrs) {
-				u := nbrs[top.next]
+			if top.next < g.Degree(v) {
+				u := g.NeighborAt(v, top.next)
 				top.next++
 				if u == parent[v] {
 					continue
@@ -280,7 +279,7 @@ func computeFragments(g *graph.Graph, embedded []bool, hasEmb func(u, v int) boo
 		for len(queue) > 0 {
 			v := queue[0]
 			queue = queue[1:]
-			for _, u := range g.Neighbors(v) {
+			g.ForEachNeighbor(v, func(u, _ int) {
 				if embedded[u] {
 					attachSet[u] = true
 				} else if !seen[u] {
@@ -288,7 +287,7 @@ func computeFragments(g *graph.Graph, embedded []bool, hasEmb func(u, v int) boo
 					inner[u] = true
 					queue = append(queue, u)
 				}
-			}
+			})
 		}
 		attachments := make([]int, 0, len(attachSet))
 		for v := range attachSet {
@@ -316,7 +315,8 @@ func fragmentPath(g *graph.Graph, fr fragment, embedded []bool) []int {
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
-		for _, u := range g.Neighbors(v) {
+		for i, deg := 0, g.Degree(v); i < deg; i++ {
+			u := g.NeighborAt(v, i)
 			if _, ok := parent[u]; ok {
 				continue
 			}

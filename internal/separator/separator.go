@@ -42,8 +42,8 @@ func (s EdgeSeparator) Balanced(n int) bool {
 // Quality returns |∂S| / √(Δ·n), the Theorem 1.6 ratio. A family of graphs
 // satisfies the theorem iff this ratio is bounded by a constant depending
 // only on the excluded minor.
-func (s EdgeSeparator) Quality(g *graph.Graph) float64 {
-	d := g.MaxDegree()
+func (s EdgeSeparator) Quality(g graph.G) float64 {
+	d := graph.MaxDegreeOf(g)
 	if d == 0 || g.N() == 0 {
 		return 0
 	}
@@ -58,7 +58,7 @@ func balancedRange(n int) (lo, hi int) {
 
 // bestPrefixCut scans prefixes of order whose sizes land in the balanced
 // range and returns the one with the fewest crossing edges.
-func bestPrefixCut(g *graph.Graph, order []int) EdgeSeparator {
+func bestPrefixCut(g graph.G, order []int) EdgeSeparator {
 	n := g.N()
 	lo, hi := balancedRange(n)
 	inS := make([]bool, n)
@@ -94,7 +94,7 @@ func bestPrefixCut(g *graph.Graph, order []int) EdgeSeparator {
 
 // Spectral returns a balanced edge separator from a Fiedler-vector sweep
 // restricted to balanced prefixes. Requires n ≥ 2.
-func Spectral(g *graph.Graph, rng *rand.Rand) EdgeSeparator {
+func Spectral(g graph.G, rng *rand.Rand) EdgeSeparator {
 	n := g.N()
 	if n < 2 {
 		panic(fmt.Sprintf("separator: need n >= 2, got %d", n))
@@ -115,12 +115,12 @@ func Spectral(g *graph.Graph, rng *rand.Rand) EdgeSeparator {
 
 // BFSOrder returns a balanced edge separator from a BFS level-order prefix
 // cut rooted at root. Deterministic.
-func BFSOrder(g *graph.Graph, root int) EdgeSeparator {
+func BFSOrder(g graph.G, root int) EdgeSeparator {
 	n := g.N()
 	if n < 2 {
 		panic(fmt.Sprintf("separator: need n >= 2, got %d", n))
 	}
-	dist, _ := g.BFS(root)
+	dist, _ := graph.BFSOf(g, root)
 	order := make([]int, n)
 	for i := range order {
 		order[i] = i
@@ -145,7 +145,7 @@ func BFSOrder(g *graph.Graph, root int) EdgeSeparator {
 
 // Best returns the better (smaller cut) of the spectral separator and BFS
 // separators from a few roots.
-func Best(g *graph.Graph, rng *rand.Rand) EdgeSeparator {
+func Best(g graph.G, rng *rand.Rand) EdgeSeparator {
 	best := Spectral(g, rng)
 	roots := []int{0}
 	if g.N() > 1 {
@@ -164,13 +164,13 @@ const MaxBruteForceN = 20
 
 // BruteForce returns the minimum-size balanced edge separator by exhaustive
 // enumeration. Panics for n > MaxBruteForceN or n < 2.
-func BruteForce(g *graph.Graph) EdgeSeparator {
+func BruteForce(g graph.G) EdgeSeparator {
 	n := g.N()
 	if n < 2 || n > MaxBruteForceN {
 		panic(fmt.Sprintf("separator: BruteForce needs 2 <= n <= %d, got %d", MaxBruteForceN, n))
 	}
 	lo, hi := balancedRange(n)
-	edges := g.Edges()
+	edges := graph.EdgesOf(g)
 	best := EdgeSeparator{CutSize: math.MaxInt}
 	for mask := 1; mask < 1<<(n-1); mask++ { // vertex n-1 fixed outside S
 		size := 0
@@ -208,11 +208,11 @@ func BruteForce(g *graph.Graph) EdgeSeparator {
 // graph, the maximum degree Δ_i must be at least c·φ²·|V_i| for a constant c
 // depending only on H. It returns Δ_i / (φ²·|V_i|), the measured constant;
 // Lemma 2.3 holds on a family iff this stays bounded away from 0.
-func HighDegreeWitness(g *graph.Graph, phi float64) float64 {
+func HighDegreeWitness(g graph.G, phi float64) float64 {
 	if g.N() == 0 || phi <= 0 {
 		return 0
 	}
-	return float64(g.MaxDegree()) / (phi * phi * float64(g.N()))
+	return float64(graph.MaxDegreeOf(g)) / (phi * phi * float64(g.N()))
 }
 
 // LemmaProof mirrors the proof of Lemma 2.3: given a balanced edge separator
@@ -221,7 +221,7 @@ func HighDegreeWitness(g *graph.Graph, phi float64) float64 {
 // |∂S| ≤ c√(Δ|V|) yield Δ ≥ (φ/(3c))²·|V|. The function returns the implied
 // constant (φ·|V|/3 / |∂S|)² · Δ_measured-consistency ratio, packaged as the
 // separator-side check used by tests.
-func LemmaProof(g *graph.Graph, sep EdgeSeparator, phi float64) (impliedMinDegree float64, ok bool) {
+func LemmaProof(g graph.G, sep EdgeSeparator, phi float64) (impliedMinDegree float64, ok bool) {
 	if !sep.Balanced(g.N()) || g.N() == 0 {
 		return 0, false
 	}

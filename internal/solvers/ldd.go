@@ -67,7 +67,7 @@ func LowDiameterDecomposition(g *graph.Graph, eps float64, levels int, rng *rand
 		}
 	}
 	for _, piece := range pieces {
-		sub, _ := g.InducedSubgraph(piece)
+		sub := g.Induce(piece)
 		if d := sub.Diameter(); d > res.MaxDiameter {
 			res.MaxDiameter = d
 		}
@@ -149,7 +149,7 @@ func BallCarving(g *graph.Graph, eps float64) LDDResult {
 		groups[l] = append(groups[l], v)
 	}
 	for _, members := range groups {
-		sub, _ := g.InducedSubgraph(members)
+		sub := g.Induce(members)
 		if d := sub.Diameter(); d > res.MaxDiameter {
 			res.MaxDiameter = d
 		}

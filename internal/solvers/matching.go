@@ -61,8 +61,8 @@ func MaximumMatching(g *graph.Graph) []int {
 		for len(queue) > 0 {
 			v := queue[0]
 			queue = queue[1:]
-			nbrs := g.Neighbors(v)
-			for _, to := range nbrs {
+			for ni, deg := 0, g.Degree(v); ni < deg; ni++ {
+				to := g.NeighborAt(v, ni)
 				if base[v] == base[to] || mate[v] == to {
 					continue
 				}
