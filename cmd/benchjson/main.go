@@ -1,18 +1,25 @@
 // Command benchjson executes the substrate micro-benchmarks from
 // internal/benchmarks programmatically and writes a machine-readable
-// BENCH_<pr>.json capturing ns/op, B/op and allocs/op per benchmark, so the
+// BENCH_<pr>.json capturing ns/op, B/op and allocs/op per benchmark — plus
+// per-worker-count scaling curves and the host shape (NumCPU, GOMAXPROCS, go
+// version) that makes the numbers interpretable across machines — so the
 // performance trajectory can be compared across PRs (benchstat-style) from
 // CI artifacts.
 //
 // With -check it additionally acts as a regression gate: the fresh numbers
 // are compared against a committed baseline document and the process exits
-// non-zero if the steady-state round loop allocates, or if the flood
-// benchmark regresses by more than -tolerance against the baseline.
+// non-zero if the steady-state round loop allocates, if the flood benchmark
+// regresses by more than -tolerance against the baseline, or — on multi-core
+// hosts only — if the scaling curves fall short of the -minspeedup multi-core
+// speedup. Baselines recorded on a different host shape either relax the
+// timing tolerance (the default) or refuse the comparison (-hostmode refuse);
+// allocation gates are deterministic and apply regardless.
 //
 // Usage:
 //
-//	benchjson [-pr 4] [-out BENCH_4.json] [-benchtime 100ms]
-//	          [-check BENCH_2.json] [-tolerance 0.25]
+//	benchjson [-pr 6] [-out BENCH_6.json] [-benchtime 100ms]
+//	          [-check BENCH_5.json] [-tolerance 0.25]
+//	          [-minspeedup 1.5] [-hostmode relax|refuse]
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
 
 	"expandergap/internal/benchmarks"
@@ -34,13 +42,69 @@ type record struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
+// hostInfo pins the shape of the machine a report was recorded on. Scaling
+// curves (and, to a lesser degree, ns/op numbers) are meaningless without
+// it: a 2-worker point is a speedup measurement on a 4-core runner and an
+// oversubscription measurement on a 1-core container.
+type hostInfo struct {
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+}
+
+// sameShape reports whether two hosts have comparable timing behaviour.
+func (h hostInfo) sameShape(o hostInfo) bool {
+	return h.NumCPU == o.NumCPU && h.GOMAXPROCS == o.GOMAXPROCS
+}
+
+// curvePoint is one worker count's measurement within a scaling curve.
+type curvePoint struct {
+	Workers     int     `json:"workers"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// curve is one benchmark family swept across worker counts, points ascending
+// by worker count with workers=1 as the speedup anchor.
+type curve struct {
+	Name   string       `json:"name"`
+	Points []curvePoint `json:"points"`
+}
+
+// at returns the point measured at the given worker count, or nil.
+func (c *curve) at(workers int) *curvePoint {
+	for i := range c.Points {
+		if c.Points[i].Workers == workers {
+			return &c.Points[i]
+		}
+	}
+	return nil
+}
+
+// speedup returns ns/op(1 worker) / ns/op(workers), or 0 when either point
+// is missing.
+func (c *curve) speedup(workers int) float64 {
+	one, w := c.at(1), c.at(workers)
+	if one == nil || w == nil || w.NsPerOp == 0 {
+		return 0
+	}
+	return one.NsPerOp / w.NsPerOp
+}
+
 // report is the full BENCH_<pr>.json document.
 type report struct {
-	PR int `json:"pr"`
+	PR   int       `json:"pr"`
+	Host *hostInfo `json:"host,omitempty"`
 	// Baselines pins noteworthy pre-change numbers so later PRs (and this
 	// one's acceptance criteria) can compare without re-running old code.
 	Baselines  []record `json:"baselines,omitempty"`
 	Benchmarks []record `json:"benchmarks"`
+	// Curves holds the per-worker-count scaling sweeps (workers 1, 2, 4,
+	// NumCPU) of the parallel round loop, walk routing, and the parallel
+	// decomposer.
+	Curves []curve `json:"curves,omitempty"`
 }
 
 // find returns the named benchmark record, or nil.
@@ -63,18 +127,32 @@ func (r *report) findBaseline(name string) *record {
 	return nil
 }
 
+// findCurve returns the named scaling curve, or nil.
+func (r *report) findCurve(name string) *curve {
+	for i := range r.Curves {
+		if r.Curves[i].Name == name {
+			return &r.Curves[i]
+		}
+	}
+	return nil
+}
+
 // check compares the fresh report against a committed baseline document and
 // returns the list of regression-gate violations. The gate is deliberately
-// narrow — two invariants the repo promises to hold across PRs:
+// narrow — invariants the repo promises to hold across PRs:
 //
 //  1. the steady-state Step loop performs zero allocations per round,
 //  2. BenchmarkSimulatorFlood's ns/op stays within (1+tolerance)× of the
-//     baseline (CI runner noise is why the default tolerance is 25%),
+//     baseline (CI runner noise is why the default tolerance is 25%; the
+//     tolerance is doubled, with a warning, when the baseline was recorded
+//     on a different host shape),
 //  3. BenchmarkDecomposeE4 allocates at most half the bytes of the pinned
 //     pre-PR5 materializing implementation (the view-refactor criterion), and
 //  4. BenchmarkDecomposeE4's allocs/op does not exceed the committed
 //     baseline run — allocation counts are deterministic, so any growth
 //     means a real regression, not runner noise.
+//
+// Allocation gates (1, 3, 4) are host-independent and always apply.
 func check(fresh, base *report, tolerance float64) []string {
 	var violations []string
 	if ss := fresh.find("BenchmarkSimulatorFloodSteadyState"); ss == nil {
@@ -115,15 +193,66 @@ func check(fresh, base *report, tolerance float64) []string {
 	return violations
 }
 
+// checkSpeedup gates the scaling curves of the fresh run. The gate is
+// GOMAXPROCS-aware and activates only on multi-core hosts — on a single-CPU
+// runner every multi-worker point measures pool overhead, not parallelism,
+// so the gate reports itself skipped instead of failing vacuously.
+//
+//   - NumCPU ≥ 4: the flood round loop and the parallel decomposer must show
+//     at least minSpeedup speedup at 4 workers vs 1.
+//   - NumCPU 2..3: a relaxed 1.15× gate at 2 workers (two-core runners leave
+//     little headroom beyond barrier and GC overhead).
+//
+// Walk routing is recorded but not gated: its per-round active set is small
+// by construction (sparse relays), so its curve is diagnostic only.
+func checkSpeedup(fresh *report, minSpeedup float64) []string {
+	if fresh.Host == nil || fresh.Host.NumCPU <= 1 {
+		fmt.Println("speedup gate skipped: single-CPU host (curves measure pool overhead only)")
+		return nil
+	}
+	atWorkers, required := 2, 1.15
+	if fresh.Host.NumCPU >= 4 {
+		atWorkers, required = 4, minSpeedup
+	}
+	var violations []string
+	for _, name := range []string{"SimulatorFloodRounds", "Decompose"} {
+		c := fresh.findCurve(name)
+		if c == nil {
+			violations = append(violations, fmt.Sprintf("curve %s missing from fresh run", name))
+			continue
+		}
+		s := c.speedup(atWorkers)
+		if s == 0 {
+			violations = append(violations, fmt.Sprintf(
+				"curve %s has no %d-worker point to gate", name, atWorkers))
+			continue
+		}
+		if s < required {
+			violations = append(violations, fmt.Sprintf(
+				"curve %s speedup at %d workers is %.2fx, want >= %.2fx (%.0f ns/op -> %.0f ns/op)",
+				name, atWorkers, s, required, c.at(1).NsPerOp, c.at(atWorkers).NsPerOp))
+		} else {
+			fmt.Printf("speedup gate: %s %.2fx at %d workers (>= %.2fx) ok\n", name, s, atWorkers, required)
+		}
+	}
+	return violations
+}
+
 func main() {
-	pr := flag.Int("pr", 5, "PR number recorded in the report (names the default output file)")
+	pr := flag.Int("pr", 6, "PR number recorded in the report (names the default output file)")
 	out := flag.String("out", "", "output file (default BENCH_<pr>.json)")
 	benchtime := flag.String("benchtime", "100ms", "per-benchmark run budget (Go benchtime syntax)")
 	checkPath := flag.String("check", "", "baseline BENCH_<pr>.json to regression-check against (empty disables)")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional ns/op regression for the -check gate")
+	minSpeedup := flag.Float64("minspeedup", 1.5, "required multi-core speedup at 4 workers (0 disables; active only when NumCPU > 1)")
+	hostMode := flag.String("hostmode", "relax", "baseline host-shape mismatch policy: relax (double tolerance) or refuse")
 	flag.Parse()
 	if *out == "" {
 		*out = fmt.Sprintf("BENCH_%d.json", *pr)
+	}
+	if *hostMode != "relax" && *hostMode != "refuse" {
+		fmt.Fprintf(os.Stderr, "benchjson: -hostmode must be relax or refuse, got %q\n", *hostMode)
+		os.Exit(2)
 	}
 
 	// testing.Benchmark honours the -test.benchtime flag; register the
@@ -136,6 +265,11 @@ func main() {
 
 	rep := report{
 		PR: *pr,
+		Host: &hostInfo{
+			NumCPU:     runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			GoVersion:  runtime.Version(),
+		},
 		Baselines: []record{
 			// BenchmarkSimulatorFlood on the pre-CSR simulator (seed commit
 			// 818038f, measured 2026-08-06 on the CI container class): the
@@ -159,6 +293,8 @@ func main() {
 				NsPerOp: 47613, BytesPerOp: 47624, AllocsPerOp: 165},
 		},
 	}
+	fmt.Printf("host: %d CPUs, GOMAXPROCS %d, %s\n",
+		rep.Host.NumCPU, rep.Host.GOMAXPROCS, rep.Host.GoVersion)
 	for _, bm := range benchmarks.Named() {
 		res := testing.Benchmark(bm.Fn)
 		rec := record{
@@ -171,6 +307,25 @@ func main() {
 		rep.Benchmarks = append(rep.Benchmarks, rec)
 		fmt.Printf("%-40s %10d iters %14.0f ns/op %10d B/op %8d allocs/op\n",
 			rec.Name, rec.Iterations, rec.NsPerOp, rec.BytesPerOp, rec.AllocsPerOp)
+	}
+	workerCounts := benchmarks.WorkerCounts()
+	for _, spec := range benchmarks.Curves() {
+		c := curve{Name: spec.Name}
+		for _, workers := range workerCounts {
+			res := testing.Benchmark(spec.Fn(workers))
+			pt := curvePoint{
+				Workers:     workers,
+				Iterations:  res.N,
+				NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+				BytesPerOp:  res.AllocedBytesPerOp(),
+				AllocsPerOp: res.AllocsPerOp(),
+			}
+			c.Points = append(c.Points, pt)
+			fmt.Printf("%-40s %10d iters %14.0f ns/op %10d B/op %8d allocs/op\n",
+				fmt.Sprintf("curve:%s/workers=%d", spec.Name, workers),
+				pt.Iterations, pt.NsPerOp, pt.BytesPerOp, pt.AllocsPerOp)
+		}
+		rep.Curves = append(rep.Curves, c)
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -196,7 +351,28 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchjson: parsing baseline %s: %v\n", *checkPath, err)
 			os.Exit(1)
 		}
-		if violations := check(&rep, &base, *tolerance); len(violations) > 0 {
+		tol := *tolerance
+		if base.Host == nil || !base.Host.sameShape(*rep.Host) {
+			shape := "unrecorded"
+			if base.Host != nil {
+				shape = fmt.Sprintf("%d CPUs / GOMAXPROCS %d", base.Host.NumCPU, base.Host.GOMAXPROCS)
+			}
+			if *hostMode == "refuse" {
+				fmt.Fprintf(os.Stderr,
+					"benchjson: baseline %s host shape (%s) differs from this host (%d CPUs / GOMAXPROCS %d); refusing timing comparison (-hostmode refuse)\n",
+					*checkPath, shape, rep.Host.NumCPU, rep.Host.GOMAXPROCS)
+				os.Exit(1)
+			}
+			tol = 2 * *tolerance
+			fmt.Fprintf(os.Stderr,
+				"benchjson: WARNING: baseline %s host shape (%s) differs from this host (%d CPUs / GOMAXPROCS %d); relaxing ns/op tolerance to %.0f%%\n",
+				*checkPath, shape, rep.Host.NumCPU, rep.Host.GOMAXPROCS, tol*100)
+		}
+		violations := check(&rep, &base, tol)
+		if *minSpeedup > 0 {
+			violations = append(violations, checkSpeedup(&rep, *minSpeedup)...)
+		}
+		if len(violations) > 0 {
 			for _, v := range violations {
 				fmt.Fprintf(os.Stderr, "benchjson: REGRESSION: %s\n", v)
 			}

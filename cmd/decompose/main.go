@@ -4,7 +4,7 @@
 // Usage:
 //
 //	decompose [-family grid|trigrid|torus|planar|outer|tree|hypercube|er]
-//	          [-n 64] [-eps 0.3] [-seed 1] [-distributed] [-in file]
+//	          [-n 64] [-eps 0.3] [-seed 1] [-workers 1] [-distributed] [-in file]
 //
 // With -in, the graph is read in the edge-list format of
 // internal/graph.ReadEdgeList instead of being generated.
@@ -27,6 +27,7 @@ func main() {
 	nFlag := flag.Int("n", 64, "approximate vertex count")
 	epsFlag := flag.Float64("eps", 0.3, "edge-removal budget ε")
 	seedFlag := flag.Int64("seed", 1, "random seed")
+	workersFlag := flag.Int("workers", 1, "decomposer goroutine pool size (>1 enables the parallel recursion)")
 	distFlag := flag.Bool("distributed", false, "use the distributed (MPX+refine) decomposer")
 	inFlag := flag.String("in", "", "read graph from an edge-list file instead of generating")
 	flag.Parse()
@@ -47,7 +48,7 @@ func main() {
 				metrics.Rounds, metrics.Messages, metrics.TotalBits(g.N()))
 		}
 	} else {
-		dec, err = expander.Decompose(g, *epsFlag, expander.Options{Seed: *seedFlag})
+		dec, err = expander.Decompose(g, *epsFlag, expander.Options{Seed: *seedFlag, Workers: *workersFlag})
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "decompose: %v\n", err)

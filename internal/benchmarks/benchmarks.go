@@ -6,6 +6,8 @@ package benchmarks
 
 import (
 	"math/rand"
+	"runtime"
+	"sort"
 	"testing"
 
 	"expandergap/internal/apps/maxis"
@@ -214,6 +216,125 @@ func LubyMIS(b *testing.B) {
 		if _, _, err := maxis.LubyMIS(g, congest.Config{Seed: int64(i)}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// WorkerCounts returns the worker sweep of the scaling-curve benchmarks:
+// {1, 2, 4, NumCPU}, deduplicated and ascending. The sweep always includes
+// the 1-worker anchor every speedup is measured against; counts above
+// NumCPU are still swept (they measure oversubscription and pool overhead),
+// which is why BENCH_*.json curves carry host metadata — a point is only a
+// speedup claim when workers ≤ NumCPU.
+func WorkerCounts() []int {
+	counts := []int{1, 2, 4, runtime.NumCPU()}
+	sort.Ints(counts)
+	out := counts[:1]
+	for _, c := range counts[1:] {
+		if c != out[len(out)-1] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// SimulatorFloodRoundsCurve returns the steady-state round-loop benchmark at
+// the given worker count: the non-terminating broadcast workload of
+// SimulatorFloodSteadyState scaled up to a 48×48 grid, where every vertex
+// steps and receives every round — the round loop with maximal exploitable
+// parallelism and none of the sparse-frontier effects of a full flood run.
+// Each iteration is exactly one synchronized round.
+func SimulatorFloodRoundsCurve(workers int) func(b *testing.B) {
+	return func(b *testing.B) {
+		g := graph.Grid(48, 48)
+		sim := congest.NewSimulator(g, congest.Config{Seed: 1, Workers: workers})
+		ex := sim.Start(func(v *congest.Vertex) congest.Handler {
+			val := int64(v.ID())
+			return congest.RunFuncs{
+				InitFn: func(v *congest.Vertex) { v.BroadcastWords(val) },
+				RoundFn: func(v *congest.Vertex, round int, recv []congest.Incoming) {
+					v.BroadcastWords(val)
+				},
+			}
+		})
+		defer ex.Close()
+		for i := 0; i < 4; i++ {
+			if _, err := ex.Step(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ex.Step(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// WalkRoutingCurve returns the WalkRoutingGrid workload at the given
+// executor worker count.
+func WalkRoutingCurve(workers int) func(b *testing.B) {
+	return func(b *testing.B) {
+		g := graph.Grid(8, 8)
+		leader := make([]int, g.N())
+		tokens := make([][]routing.Token, g.N())
+		for v := range tokens {
+			tokens[v] = []routing.Token{{A: int64(v)}}
+		}
+		plan := routing.Plan{
+			Cluster:       primitives.Uniform(g.N()),
+			Leader:        leader,
+			ForwardRounds: 8*g.M()*g.Diameter() + 64,
+			Strategy:      routing.RandomWalk,
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, _, err := routing.Exchange(g, congest.Config{Seed: int64(i), Workers: workers}, plan, tokens, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Undelivered > 0 {
+				b.Fatalf("undelivered: %d", res.Undelivered)
+			}
+		}
+	}
+}
+
+// DecomposeCurve returns the parallel-decomposer benchmark at the given
+// worker count: a 300-vertex random maximal planar graph under the
+// deep-recursion stress setting (ε = 0.999, φ = 0.15), which takes many cuts
+// and therefore exposes the recursion's piece-level parallelism. workers = 1
+// is the sequential ground-truth recursion.
+func DecomposeCurve(workers int) func(b *testing.B) {
+	return func(b *testing.B) {
+		rng := rand.New(rand.NewSource(1))
+		g := graph.RandomMaximalPlanar(300, rng)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := expander.Decompose(g, 0.999, expander.Options{Seed: 1, Phi: 0.15, Workers: workers}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// CurveSpec is one scaling-curve family: a name plus a constructor mapping a
+// worker count to the benchmark body.
+type CurveSpec struct {
+	Name string
+	Fn   func(workers int) func(b *testing.B)
+}
+
+// Curves lists the worker-sweep benchmark families cmd/benchjson records as
+// per-worker-count scaling curves in BENCH_<pr>.json.
+func Curves() []CurveSpec {
+	return []CurveSpec{
+		{"SimulatorFloodRounds", SimulatorFloodRoundsCurve},
+		{"WalkRoutingGrid", WalkRoutingCurve},
+		{"Decompose", DecomposeCurve},
 	}
 }
 

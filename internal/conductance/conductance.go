@@ -13,7 +13,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"expandergap/internal/graph"
 )
@@ -358,11 +358,17 @@ func SweepCut(g graph.G, score []float64) (map[int]bool, float64) {
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool {
-		if score[order[a]] != score[order[b]] {
-			return score[order[a]] < score[order[b]]
+	// The comparator is a strict total order (score, then vertex id), so the
+	// sorted permutation is unique and independent of the sort algorithm;
+	// slices.SortFunc just avoids sort.Slice's per-call reflection allocs.
+	slices.SortFunc(order, func(a, b int) int {
+		if score[a] != score[b] {
+			if score[a] < score[b] {
+				return -1
+			}
+			return 1
 		}
-		return order[a] < order[b]
+		return a - b
 	})
 	inS := make([]bool, n)
 	volS := 0

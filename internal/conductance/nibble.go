@@ -1,7 +1,7 @@
 package conductance
 
 import (
-	"sort"
+	"slices"
 
 	"expandergap/internal/graph"
 )
@@ -107,11 +107,16 @@ func Nibble(g graph.G, seed int, alpha, epsPush float64) (map[int]bool, float64)
 	if len(order) == 0 {
 		return nil, 0
 	}
-	sort.Slice(order, func(i, j int) bool {
-		if order[i].score != order[j].score {
-			return order[i].score > order[j].score
+	// Strict total order (score desc, then vertex id): the permutation is
+	// unique, so swapping in the reflection-free sort cannot change output.
+	slices.SortFunc(order, func(a, b scored) int {
+		if a.score != b.score {
+			if a.score > b.score {
+				return -1
+			}
+			return 1
 		}
-		return order[i].v < order[j].v
+		return a.v - b.v
 	})
 	totalVol := 2 * g.M()
 	inS := make([]bool, g.N())

@@ -1,0 +1,169 @@
+package congest
+
+import (
+	"reflect"
+	"testing"
+
+	"expandergap/internal/graph"
+)
+
+// TestSplitBoundsBalance checks the weighted chunk-boundary computation
+// directly: boundaries are ascending, cover [0, k), depend only on the
+// weight sequence, and place the heavy prefix of a skewed weight vector in
+// its own chunk instead of splitting by index count.
+func TestSplitBoundsBalance(t *testing.T) {
+	e := &executor{workers: 4, bounds: make([]int, 5)}
+
+	// Uniform weights degenerate to the even index split.
+	e.splitBounds(4, 8, func(i int) int { return 1 })
+	if got, want := append([]int(nil), e.bounds...), []int{0, 2, 4, 6, 8}; !reflect.DeepEqual(got, want) {
+		t.Errorf("uniform bounds = %v, want %v", got, want)
+	}
+
+	// One index carrying ~all the weight: it must not share a chunk with
+	// the long zero-weight tail.
+	w := func(i int) int {
+		if i == 0 {
+			return 1000
+		}
+		return 0
+	}
+	e.splitBounds(4, 100, w)
+	if e.bounds[1] != 1 {
+		t.Errorf("heavy head: first boundary = %d, want 1 (bounds %v)", e.bounds[1], e.bounds)
+	}
+	if e.bounds[4] != 100 {
+		t.Errorf("last boundary = %d, want 100", e.bounds[4])
+	}
+	for c := 1; c <= 4; c++ {
+		if e.bounds[c] < e.bounds[c-1] {
+			t.Fatalf("bounds not ascending: %v", e.bounds)
+		}
+	}
+
+	// Determinism: same weights, same boundaries, every time.
+	first := append([]int(nil), e.bounds...)
+	for run := 0; run < 3; run++ {
+		e.splitBounds(4, 100, w)
+		if !reflect.DeepEqual(append([]int(nil), e.bounds...), first) {
+			t.Fatalf("run %d: bounds changed: %v vs %v", run, e.bounds, first)
+		}
+	}
+
+	// A nil weight keeps the legacy even split.
+	e.splitBounds(4, 10, nil)
+	if got, want := append([]int(nil), e.bounds...), []int{0, 3, 6, 9, 10}; !reflect.DeepEqual(got, want) {
+		t.Errorf("nil-weight bounds = %v, want %v", got, want)
+	}
+}
+
+// starWithTail builds the skew stress graph for the balanced executor: a hub
+// adjacent to every other vertex, plus a path threaded through the leaves so
+// the graph has both one massively hot vertex (degree n-1, receives a
+// message from every leaf every round) and a long run of cheap ones.
+func starWithTail(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(0, v)
+	}
+	for v := 1; v < n-1; v++ {
+		b.AddEdge(v, v+1)
+	}
+	return b.Graph()
+}
+
+// TestBalancedShardingSkewedEquivalence runs an aggregation workload on the
+// star-with-tail graph — the worst case for equal-index chunks, since the
+// hub's delivery and compute cost dwarf every leaf's — across the executor
+// sweep and demands bit-identical outputs and metrics. The balanced
+// boundaries must change scheduling only, never results.
+func TestBalancedShardingSkewedEquivalence(t *testing.T) {
+	g := starWithTail(257)
+	run := func(workers int) ([]any, Metrics) {
+		sim := NewSimulator(g, Config{Seed: 9, Workers: workers})
+		res, err := sim.Run(func(v *Vertex) Handler {
+			sum := int64(0)
+			return RunFuncs{
+				InitFn: func(v *Vertex) {
+					if v.ID() != 0 {
+						v.SendWords(0, int64(v.ID())) // port 0 of a leaf is the hub
+					}
+				},
+				RoundFn: func(v *Vertex, round int, recv []Incoming) {
+					for _, in := range recv {
+						sum += in.Msg[0]
+					}
+					if round >= 6 {
+						v.SetOutput(sum)
+						v.Halt()
+						return
+					}
+					if v.ID() != 0 {
+						v.SendWords(0, sum+int64(round))
+					} else {
+						v.BroadcastWords(sum % 1000)
+					}
+				},
+			}
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res.Outputs, res.Metrics
+	}
+	baseOut, baseMetrics := run(0)
+	for _, workers := range []int{1, 2, 4, 8} {
+		out, m := run(workers)
+		if !reflect.DeepEqual(out, baseOut) {
+			t.Errorf("workers=%d: outputs diverge from sequential on skewed load", workers)
+		}
+		if m != baseMetrics {
+			t.Errorf("workers=%d: metrics %+v, sequential %+v", workers, m, baseMetrics)
+		}
+	}
+}
+
+// TestBalancedShardingFaultedSkewEquivalence repeats the skewed-load sweep
+// with fault injection and sleeping leaves, so the balanced chunk boundaries
+// are exercised while the worklists churn (pendingCount is rebuilt every
+// barrier) and the fault filter runs inside the weighted delivery phase.
+func TestBalancedShardingFaultedSkewEquivalence(t *testing.T) {
+	g := starWithTail(129)
+	run := func(workers int) ([]any, Metrics) {
+		sim := NewSimulator(g, Config{Seed: 31, FaultRate: 0.15, Workers: workers, MaxRounds: 128})
+		res, err := sim.Run(func(v *Vertex) Handler {
+			sum := int64(0)
+			return RunFuncs{
+				InitFn: func(v *Vertex) { v.BroadcastWords(int64(v.ID())) },
+				RoundFn: func(v *Vertex, round int, recv []Incoming) {
+					for _, in := range recv {
+						sum += in.Msg[0]
+					}
+					switch {
+					case round >= 10:
+						v.SetOutput(sum)
+						v.Halt()
+					case v.ID()%3 == 1 && round == 2:
+						v.SleepUntil(8) // drop out of the worklists for a stretch
+					default:
+						v.BroadcastWords(sum % 997)
+					}
+				},
+			}
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res.Outputs, res.Metrics
+	}
+	baseOut, baseMetrics := run(0)
+	for _, workers := range []int{2, 4, 8} {
+		out, m := run(workers)
+		if !reflect.DeepEqual(out, baseOut) {
+			t.Errorf("workers=%d: outputs diverge under faults on skewed load", workers)
+		}
+		if m != baseMetrics {
+			t.Errorf("workers=%d: metrics %+v, sequential %+v", workers, m, baseMetrics)
+		}
+	}
+}

@@ -474,6 +474,7 @@ type Simulator struct {
 	stepList     []int32   // vertices stepped this round, ascending
 	deliverList  []int32   // vertices with queued incoming messages, ascending
 	deliverStamp []int     // dedup stamp per vertex: delivery round it was listed for
+	pendingCount []int32   // messages queued to each deliverList vertex: the delivery balance weight
 	inboxRound   []int     // round whose messages inboxes[v] currently holds
 	timers       timerHeap // pending SleepUntil wakes, lazily deleted
 	timerStamp   []int     // latest wake round pushed per vertex, to dedup re-sleeps
@@ -568,6 +569,7 @@ func (s *Simulator) buildLayout() {
 	s.stepList = make([]int32, 0, n)
 	s.deliverList = make([]int32, 0, n)
 	s.deliverStamp = make([]int, n)
+	s.pendingCount = make([]int32, n)
 	s.inboxRound = make([]int, n)
 	s.timers = make(timerHeap, 0, n)
 	s.timerStamp = make([]int, n)
@@ -665,6 +667,15 @@ type Execution struct {
 	closed    bool
 	deliverFn func(lo, hi int)
 	computeFn func(lo, hi int)
+	// Balance weights for the parallel executor's chunk boundaries (see
+	// parallel.go and DESIGN.md §3.12): delivery is weighted by the number
+	// of messages queued to each receiver plus its degree (deliver walks
+	// every port and appends every pending message), compute by vertex
+	// degree (which bounds both the inbox walk and a handler's send
+	// fan-out). Both read only barrier-built state, so boundaries are a
+	// pure function of the worklist.
+	deliverWt func(i int) int
+	computeWt func(i int) int
 	// obsPrev is the metrics snapshot at the previous round barrier; the
 	// delta against it is what Step attributes to the observer's current
 	// phase. Sends queued during Init are included in round 1's delta.
@@ -730,6 +741,14 @@ func (s *Simulator) Start(newHandler func(v *Vertex) Handler) *Execution {
 			s.handlers[id].Round(v, e.round, recv)
 		}
 	}
+	e.deliverWt = func(i int) int {
+		id := s.deliverList[i]
+		return int(s.pendingCount[id]) + int(s.off[id+1]-s.off[id])
+	}
+	e.computeWt = func(i int) int {
+		id := s.stepList[i]
+		return int(s.off[id+1] - s.off[id])
+	}
 
 	// Init stays sequential: it runs once, and construction-time state is
 	// where test harnesses legitimately share setup across vertices.
@@ -742,10 +761,11 @@ func (s *Simulator) Start(newHandler func(v *Vertex) Handler) *Execution {
 }
 
 // runPhase executes fn over the index range [0, k) of the current worklist,
-// sharded across the worker pool when one exists. fn(lo, hi) must only touch
-// state owned by the vertices at worklist positions lo..hi-1 (plus the
-// disjoint outbox slots deliver claims).
-func (e *Execution) runPhase(fn func(lo, hi int), k int) {
+// sharded across the worker pool when one exists, with chunk boundaries
+// balanced by weight. fn(lo, hi) must only touch state owned by the vertices
+// at worklist positions lo..hi-1 (plus the disjoint outbox slots deliver
+// claims).
+func (e *Execution) runPhase(fn func(lo, hi int), k int, weight func(i int) int) {
 	if k == 0 {
 		return
 	}
@@ -753,7 +773,7 @@ func (e *Execution) runPhase(fn func(lo, hi int), k int) {
 		fn(0, k)
 		return
 	}
-	e.exec.phase(fn, k)
+	e.exec.phase(fn, k, weight)
 }
 
 // Step executes one synchronized round: delivery over the deliverList, the
@@ -778,10 +798,10 @@ func (e *Execution) Step() (done bool, err error) {
 	}
 	e.round = round
 	s.curRound = round
-	e.runPhase(e.deliverFn, len(s.deliverList))
+	e.runPhase(e.deliverFn, len(s.deliverList), e.deliverWt)
 	s.metrics.Rounds++
 	s.assembleStepList(round)
-	e.runPhase(e.computeFn, len(s.stepList))
+	e.runPhase(e.computeFn, len(s.stepList), e.computeWt)
 	s.mergeStepped(round)
 	if s.obs != nil {
 		m := s.metrics

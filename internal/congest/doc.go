@@ -24,10 +24,12 @@
 // executor below exact.
 //
 // Setting Config.Workers > 0 shards each round's delivery and compute phases
-// across a pool of worker goroutines (vertices partitioned into contiguous
-// ID ranges) with per-vertex metric shards merged at the round barrier. The
-// parallel executor is bit-for-bit equivalent to the sequential path for a
-// fixed seed. The one extra requirement it places on handlers: handlers of
+// across a pool of worker goroutines. Each phase's sparse worklist is split
+// into contiguous chunks balanced by per-vertex work (queued message counts
+// for delivery, degree for compute); the boundaries are a pure function of
+// the worklist and weights, both rebuilt sequentially at round barriers, and
+// per-vertex metric shards merge at the barrier. The parallel executor is
+// bit-for-bit equivalent to the sequential path for a fixed seed. The one extra requirement it places on handlers: handlers of
 // different vertices must not share mutable state (per-vertex state, as the
 // model prescribes, is always safe; the test-only pattern of closing over a
 // shared counter is not).

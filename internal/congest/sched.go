@@ -117,6 +117,9 @@ func (s *Simulator) assembleStepList(round int) {
 // deliverList is derived by walking the outboxes of stepped vertices that
 // sent at least one message; deliverStamp dedups receivers with the delivery
 // round as the stamp (strictly increasing across barriers, reset by Start).
+// pendingCount tallies the messages queued to each listed receiver alongside
+// the dedup — it is the delivery-phase balance weight (parallel.go) and is
+// only meaningful for vertices stamped with the current delivery round.
 func (s *Simulator) mergeStepped(round int) {
 	var phaseSends int64
 	dr := round + 1
@@ -149,7 +152,10 @@ func (s *Simulator) mergeStepped(round int) {
 				rcv := v.ports[p]
 				if s.deliverStamp[rcv] != dr {
 					s.deliverStamp[rcv] = dr
+					s.pendingCount[rcv] = 1
 					s.deliverList = append(s.deliverList, rcv)
+				} else {
+					s.pendingCount[rcv]++
 				}
 			}
 		}
@@ -206,7 +212,10 @@ func (s *Simulator) resetSchedule() {
 			rcv := v.ports[p]
 			if s.deliverStamp[rcv] != 1 {
 				s.deliverStamp[rcv] = 1
+				s.pendingCount[rcv] = 1
 				s.deliverList = append(s.deliverList, rcv)
+			} else {
+				s.pendingCount[rcv]++
 			}
 		}
 		switch {

@@ -5,11 +5,15 @@
 // edges so that every remaining connected component has conductance at least
 // φ. Three constructions are provided:
 //
-//   - Decompose: a sequential recursive sparse-cut decomposition. It plays
+//   - Decompose: a recursive sparse-cut decomposition. It plays
 //     the role of the Chang–Saranurak FOCS'20 construction, which this
 //     repository substitutes (see DESIGN.md): the framework only consumes
 //     the (ε, φ) contract, which this decomposer meets with
 //     φ = ε/Θ(log m), matching the existential bound φ = Ω(ε/log n).
+//     Options.Workers > 1 fans the recursion's independent pieces out to a
+//     bounded goroutine pool with per-piece hashed seeds and a shared
+//     removed-edge bitmap that is race-free by ownership; the sequential
+//     Workers <= 1 path remains the pinned ground truth (DESIGN.md §3.12).
 //
 //   - DistributedDecompose: a genuine message-passing construction run on
 //     the CONGEST simulator. It combines Miller–Peng–Xu exponential-shift

@@ -139,6 +139,16 @@ type Options struct {
 	// identical for every Seed — the Theorem 2.2 deterministic-construction
 	// track at the sequential level.
 	Deterministic bool
+	// Workers bounds the decomposer's goroutine pool. 0 or 1 runs the
+	// canonical sequential recursion (the pinned ground truth, whose RNG is
+	// consumed in DFS order). Any k > 1 fans the recursion's independent
+	// pieces out to at most k goroutines, with each piece's randomness
+	// derived by hashing (Seed, piece vertex set) so the output is a pure
+	// function of the inputs: bit-identical for every Workers > 1, and
+	// identical to the sequential path whenever the cut decisions are
+	// RNG-independent (always under Deterministic; pinned on the E4/E7
+	// golden instances). See parallel.go and DESIGN.md §3.12.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -166,6 +176,9 @@ func Decompose(g *graph.Graph, eps float64, opts Options) (*Decomposition, error
 	if phi == 0 {
 		phi = PhiTarget(eps, g.M())
 	}
+	if opts.Workers > 1 {
+		return decomposeParallel(g, eps, phi, opts), nil
+	}
 	rng := rand.New(rand.NewSource(opts.Seed + 1))
 
 	d := &Decomposition{
@@ -173,7 +186,13 @@ func Decompose(g *graph.Graph, eps float64, opts Options) (*Decomposition, error
 		Eps:        eps,
 		Phi:        phi,
 	}
-	removed := make(map[int]bool)
+	// Removed edges live in a bitmap indexed by base edge id: the
+	// InduceFiltered predicate is then a single bounds-checked load per
+	// candidate edge instead of a map probe at every recursion level, and
+	// no per-cut map inserts allocate. The predicate escapes into every
+	// view, so it is built once here rather than per recursion level.
+	removed := make([]bool, g.M())
+	dropEdge := func(ei int) bool { return removed[ei] }
 
 	var recurse func(verts []int)
 	recurse = func(verts []int) {
@@ -182,7 +201,7 @@ func Decompose(g *graph.Graph, eps float64, opts Options) (*Decomposition, error
 		}
 		// Zero-copy view of the piece, minus the edges removed by earlier
 		// cuts (the recursion operates on the graph minus removed edges).
-		sub := g.InduceFiltered(verts, func(ei int) bool { return removed[ei] })
+		sub := g.InduceFiltered(verts, dropEdge)
 		// Split disconnected pieces first: components are free clusters.
 		comps := sub.Components()
 		if len(comps) > 1 {
@@ -226,12 +245,27 @@ func Decompose(g *graph.Graph, eps float64, opts Options) (*Decomposition, error
 	}
 	recurse(all)
 
-	d.Removed = make([]int, 0, len(removed))
-	for ei := range removed {
-		d.Removed = append(d.Removed, ei)
-	}
-	sort.Ints(d.Removed)
+	d.Removed = removedList(removed)
 	return d, nil
+}
+
+// removedList extracts the set bits of a removed-edge bitmap as the sorted
+// edge-index slice the Decomposition contract requires (ascending for free,
+// the bitmap being indexed by edge id).
+func removedList(removed []bool) []int {
+	count := 0
+	for _, r := range removed {
+		if r {
+			count++
+		}
+	}
+	out := make([]int, 0, count)
+	for ei, r := range removed {
+		if r {
+			out = append(out, ei)
+		}
+	}
+	return out
 }
 
 func (d *Decomposition) addCluster(verts []int) {
