@@ -15,11 +15,23 @@
 // timing tolerance (the default) or refuse the comparison (-hostmode refuse);
 // allocation gates are deterministic and apply regardless.
 //
+// With -iosizes (comma-separated edge counts), the report additionally
+// records the huge-graph I/O curves of internal/benchmarks.MeasureIO — load
+// ns/edge, on-disk bytes/edge, and peak-heap bytes/edge for the text, binary,
+// and mmap load paths. Under -check these curves are gated within-run (no
+// baseline required, so the gates are host-independent): binary loading must
+// be ≥ -iominratio× faster than text per edge, an mmap open must complete in
+// under -iomaxopen regardless of edge count, the binary encoding must stay
+// under 40 file bytes/edge, and a zero-copy mmap open must not allocate per
+// edge.
+//
 // Usage:
 //
-//	benchjson [-pr 6] [-out BENCH_6.json] [-benchtime 100ms]
-//	          [-check BENCH_5.json] [-tolerance 0.25]
+//	benchjson [-pr 7] [-out BENCH_7.json] [-benchtime 100ms]
+//	          [-check BENCH_7.json] [-tolerance 0.25]
 //	          [-minspeedup 1.5] [-hostmode relax|refuse]
+//	          [-iosizes 1000000,10000000] [-iodir /tmp]
+//	          [-iominratio 5] [-iomaxopen 10ms]
 package main
 
 import (
@@ -28,7 +40,10 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"testing"
+	"time"
 
 	"expandergap/internal/benchmarks"
 )
@@ -105,6 +120,19 @@ type report struct {
 	// NumCPU) of the parallel round loop, walk routing, and the parallel
 	// decomposer.
 	Curves []curve `json:"curves,omitempty"`
+	// IO holds the graph-loading curves (text vs binary vs mmap) across
+	// edge counts, recorded when -iosizes is given.
+	IO []benchmarks.IOCurve `json:"io,omitempty"`
+}
+
+// findIO returns the named I/O curve ("text", "binary", "mmap"), or nil.
+func (r *report) findIO(format string) *benchmarks.IOCurve {
+	for i := range r.IO {
+		if r.IO[i].Format == format {
+			return &r.IO[i]
+		}
+	}
+	return nil
 }
 
 // find returns the named benchmark record, or nil.
@@ -238,14 +266,73 @@ func checkSpeedup(fresh *report, minSpeedup float64) []string {
 	return violations
 }
 
+// checkIO gates the I/O curves. All comparisons are within the fresh run, so
+// the gate needs no baseline and holds on any host: the ratios and ceilings
+// are properties of the load paths, not of the machine's absolute speed.
+//
+//  1. binary loading is at least minRatio× faster than text, per edge, at
+//     every measured size — the whole point of shipping a binary format;
+//  2. every mmap open completes within maxOpen, independent of edge count
+//     (an open is header validation plus pointer arithmetic, never a scan);
+//  3. the binary encoding stays under 40 file bytes per edge (the CSR
+//     sections sum to ~33 B/edge for average degree 8);
+//  4. when the mmap path really maps (zero_copy), opening allocates less
+//     than one heap byte per edge — pointing into the page cache, not
+//     copying it.
+func checkIO(fresh *report, minRatio float64, maxOpen time.Duration) []string {
+	var violations []string
+	text, bin, mm := fresh.findIO("text"), fresh.findIO("binary"), fresh.findIO("mmap")
+	if text == nil || bin == nil || mm == nil {
+		return []string{"io curves incomplete: need text, binary, and mmap"}
+	}
+	for _, bp := range bin.Points {
+		tp := text.At(bp.Edges)
+		if tp == nil {
+			violations = append(violations, fmt.Sprintf("io: no text point at %d edges", bp.Edges))
+			continue
+		}
+		if ratio := tp.NsPerEdge / bp.NsPerEdge; ratio < minRatio {
+			violations = append(violations, fmt.Sprintf(
+				"io: binary load only %.2fx faster than text at %d edges (%.1f vs %.1f ns/edge), want >= %.1fx",
+				ratio, bp.Edges, bp.NsPerEdge, tp.NsPerEdge, minRatio))
+		} else {
+			fmt.Printf("io gate: binary %.1fx faster than text at %d edges (>= %.1fx) ok\n", ratio, bp.Edges, minRatio)
+		}
+		if bp.FileBytesPerEdge > 40 {
+			violations = append(violations, fmt.Sprintf(
+				"io: binary encoding is %.1f file bytes/edge at %d edges, want <= 40",
+				bp.FileBytesPerEdge, bp.Edges))
+		}
+	}
+	for _, mp := range mm.Points {
+		if mp.LoadNs > float64(maxOpen.Nanoseconds()) {
+			violations = append(violations, fmt.Sprintf(
+				"io: mmap open took %.2fms at %d edges, want < %v (opens must be edge-count independent)",
+				mp.LoadNs/1e6, mp.Edges, maxOpen))
+		} else {
+			fmt.Printf("io gate: mmap open %.2fms at %d edges (< %v) ok\n", mp.LoadNs/1e6, mp.Edges, maxOpen)
+		}
+		if mm.ZeroCopy && mp.HeapBytesPerEdge >= 1 {
+			violations = append(violations, fmt.Sprintf(
+				"io: zero-copy mmap open allocated %.1f heap bytes/edge at %d edges, want < 1",
+				mp.HeapBytesPerEdge, mp.Edges))
+		}
+	}
+	return violations
+}
+
 func main() {
-	pr := flag.Int("pr", 6, "PR number recorded in the report (names the default output file)")
+	pr := flag.Int("pr", 7, "PR number recorded in the report (names the default output file)")
 	out := flag.String("out", "", "output file (default BENCH_<pr>.json)")
 	benchtime := flag.String("benchtime", "100ms", "per-benchmark run budget (Go benchtime syntax)")
 	checkPath := flag.String("check", "", "baseline BENCH_<pr>.json to regression-check against (empty disables)")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional ns/op regression for the -check gate")
 	minSpeedup := flag.Float64("minspeedup", 1.5, "required multi-core speedup at 4 workers (0 disables; active only when NumCPU > 1)")
 	hostMode := flag.String("hostmode", "relax", "baseline host-shape mismatch policy: relax (double tolerance) or refuse")
+	ioSizes := flag.String("iosizes", "", "comma-separated edge counts for the graph I/O curves (empty disables)")
+	ioDir := flag.String("iodir", os.TempDir(), "scratch directory for the I/O curve graph files")
+	ioMinRatio := flag.Float64("iominratio", 5, "required binary-vs-text per-edge load speedup for the -check io gate")
+	ioMaxOpen := flag.Duration("iomaxopen", 10*time.Millisecond, "maximum mmap open latency for the -check io gate")
 	flag.Parse()
 	if *out == "" {
 		*out = fmt.Sprintf("BENCH_%d.json", *pr)
@@ -327,6 +414,23 @@ func main() {
 		}
 		rep.Curves = append(rep.Curves, c)
 	}
+	if *ioSizes != "" {
+		var sizes []int
+		for _, part := range strings.Split(*ioSizes, ",") {
+			v, perr := strconv.Atoi(strings.TrimSpace(part))
+			if perr != nil || v <= 0 {
+				fmt.Fprintf(os.Stderr, "benchjson: bad -iosizes entry %q\n", part)
+				os.Exit(2)
+			}
+			sizes = append(sizes, v)
+		}
+		curves, ioErr := benchmarks.MeasureIO(sizes, *ioDir, os.Stdout)
+		if ioErr != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: io curves: %v\n", ioErr)
+			os.Exit(1)
+		}
+		rep.IO = curves
+	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -371,6 +475,9 @@ func main() {
 		violations := check(&rep, &base, tol)
 		if *minSpeedup > 0 {
 			violations = append(violations, checkSpeedup(&rep, *minSpeedup)...)
+		}
+		if len(rep.IO) > 0 {
+			violations = append(violations, checkIO(&rep, *ioMinRatio, *ioMaxOpen)...)
 		}
 		if len(violations) > 0 {
 			for _, v := range violations {

@@ -4,10 +4,13 @@
 // Usage:
 //
 //	decompose [-family grid|trigrid|torus|planar|outer|tree|hypercube|er]
-//	          [-n 64] [-eps 0.3] [-seed 1] [-workers 1] [-distributed] [-in file]
+//	          [-n 64] [-eps 0.3] [-seed 1] [-workers 1] [-distributed]
+//	          [-in file] [-mmap]
 //
-// With -in, the graph is read in the edge-list format of
-// internal/graph.ReadEdgeList instead of being generated.
+// With -in, the graph is read from a file in either on-disk format (the text
+// edge list or the binary CSR format, sniffed by magic). -mmap additionally
+// memory-maps a binary file instead of copying it into the heap — the way to
+// open multi-hundred-megabyte graphs instantly.
 package main
 
 import (
@@ -29,10 +32,11 @@ func main() {
 	seedFlag := flag.Int64("seed", 1, "random seed")
 	workersFlag := flag.Int("workers", 1, "decomposer goroutine pool size (>1 enables the parallel recursion)")
 	distFlag := flag.Bool("distributed", false, "use the distributed (MPX+refine) decomposer")
-	inFlag := flag.String("in", "", "read graph from an edge-list file instead of generating")
+	inFlag := flag.String("in", "", "read graph from a file (text edge list or binary CSR) instead of generating")
+	mmapFlag := flag.Bool("mmap", false, "memory-map the -in file (binary CSR format only)")
 	flag.Parse()
 
-	g, err := buildGraph(*familyFlag, *nFlag, *seedFlag, *inFlag)
+	g, err := buildGraph(*familyFlag, *nFlag, *seedFlag, *inFlag, *mmapFlag)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "decompose: %v\n", err)
 		os.Exit(2)
@@ -78,14 +82,18 @@ func bucket(size int) int {
 	return 1 << int(math.Round(math.Log2(float64(size))))
 }
 
-func buildGraph(family string, n int, seed int64, in string) (*graph.Graph, error) {
+func buildGraph(family string, n int, seed int64, in string, useMmap bool) (*graph.Graph, error) {
 	if in != "" {
-		f, err := os.Open(in)
-		if err != nil {
-			return nil, err
+		if useMmap {
+			// The mapping stays open for the process lifetime; the kernel
+			// reclaims it at exit.
+			mg, err := graph.OpenMapped(in)
+			if err != nil {
+				return nil, err
+			}
+			return mg.Graph, nil
 		}
-		defer f.Close()
-		return graph.ReadEdgeList(f)
+		return graph.LoadFile(in)
 	}
 	rng := rand.New(rand.NewSource(seed))
 	side := int(math.Sqrt(float64(n)))

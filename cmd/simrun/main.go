@@ -6,8 +6,13 @@
 //
 //	simrun -algo maxis|mcm|mwm|corrclust|ldd|proptest|luby|greedy|pivot|mpx
 //	       [-family grid|trigrid|torus|planar|tree] [-n 64] [-eps 0.25] [-seed 1]
+//	       [-in file] [-mmap]
 //	       [-workers 4] [-cpuprofile cpu.prof] [-memprofile mem.prof]
 //	       [-trace out.jsonl] [-report out.json] [-phases]
+//
+// With -in, the network graph is read from a file (text edge list or binary
+// CSR, sniffed by magic) instead of being generated; -mmap memory-maps a
+// binary file so even very large networks open instantly.
 //
 // -trace streams one JSONL event per simulated round (round, phase stack,
 // active vertices, messages, words, bits); -report writes the phase tree
@@ -44,6 +49,8 @@ func main() {
 	nFlag := flag.Int("n", 64, "approximate vertex count")
 	epsFlag := flag.Float64("eps", 0.25, "approximation / decomposition parameter")
 	seedFlag := flag.Int64("seed", 1, "random seed")
+	inFlag := flag.String("in", "", "read the network from a file (text edge list or binary CSR) instead of generating")
+	mmapFlag := flag.Bool("mmap", false, "memory-map the -in file (binary CSR format only)")
 	detFlag := flag.Bool("deterministic", false, "use the deterministic (tree-routing) framework track")
 	distFlag := flag.Bool("distributed", false, "use the distributed (MPX+refine) decomposer")
 	faultFlag := flag.Float64("faults", 0, "message drop probability (failure-path exploration)")
@@ -84,7 +91,11 @@ func main() {
 	}
 
 	rng := rand.New(rand.NewSource(*seedFlag))
-	g := buildGraph(*familyFlag, *nFlag, rng)
+	g, gerr := loadOrBuild(*inFlag, *mmapFlag, *familyFlag, *nFlag, rng)
+	if gerr != nil {
+		fmt.Fprintf(os.Stderr, "simrun: %v\n", gerr)
+		os.Exit(2)
+	}
 	cfg := congest.Config{Seed: *seedFlag, FaultRate: *faultFlag, Workers: *workersFlag}
 
 	var obs *congest.Observer
@@ -233,6 +244,21 @@ func main() {
 func printMetrics(m congest.Metrics, n int) {
 	fmt.Printf("rounds %d, messages %d, words %d, total bits %d, max msg words %d\n",
 		m.Rounds, m.Messages, m.Words, m.TotalBits(n), m.MaxWordsPerMsg)
+}
+
+func loadOrBuild(in string, useMmap bool, family string, n int, rng *rand.Rand) (*graph.Graph, error) {
+	if in == "" {
+		return buildGraph(family, n, rng), nil
+	}
+	if useMmap {
+		// Mapped for the process lifetime; the kernel reclaims it at exit.
+		mg, err := graph.OpenMapped(in)
+		if err != nil {
+			return nil, err
+		}
+		return mg.Graph, nil
+	}
+	return graph.LoadFile(in)
 }
 
 func buildGraph(family string, n int, rng *rand.Rand) *graph.Graph {

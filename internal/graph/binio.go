@@ -1,0 +1,633 @@
+package graph
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"unsafe"
+)
+
+// Binary on-disk CSR format, version 1.
+//
+// The file stores the exact arrays a Graph holds in memory — adjOff, adjTo,
+// adjIdx, edges, and the optional weight/sign annotations — little-endian,
+// each section 8-byte aligned, behind a 64-byte header:
+//
+//	offset  size  field
+//	0       8     magic "EXPGRCSR"
+//	8       4     version (uint32, = 1)
+//	12      4     flags   (uint32: bit 0 weighted, bit 1 signed)
+//	16      8     n       (uint64 vertex count)
+//	24      8     m       (uint64 edge count)
+//	32      4     maxDeg  (uint32, cached build-time stat)
+//	36      4     minDeg  (uint32)
+//	40      8     maxW    (int64)
+//	48      8     totalW  (int64)
+//	56      4     crc32c  (Castagnoli, over header[0:56] + payload)
+//	60      4     reserved (0)
+//	64      ...   payload: adjOff (n+1)*4 · pad · adjTo 8m · adjIdx 8m ·
+//	              edges m*16 (U,V as int64 pairs) · [weights m*8] · [signs m]
+//
+// ReadBinary verifies the checksum (one streaming pass, ~GB/s); OpenMapped
+// skips it so that opening is O(1) in the edge count, and validates the
+// header's structural invariants only — see the mmap aliasing contract in
+// DESIGN.md §3.13.
+const (
+	binMagic      = "EXPGRCSR"
+	binVersion    = 1
+	binHeaderSize = 64
+
+	binFlagWeighted = 1 << 0
+	binFlagSigned   = 1 << 1
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// hostLE reports whether this machine is little-endian; the zero-copy
+// encode/decode fast paths and mmap aliasing require it.
+var hostLE = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// hostInt64 reports whether int is 64 bits wide, which the []Edge byte
+// aliasing relies on (Edge is a pair of ints stored on disk as int64 pairs).
+const hostInt64 = math.MaxInt == math.MaxInt64
+
+// canAliasEdges reports whether []Edge memory layout matches the on-disk
+// edge section byte-for-byte.
+const edgeBytes = 16
+
+func canAlias() bool { return hostLE && hostInt64 }
+
+// MapIsZeroCopy reports whether OpenMapped actually memory-maps on this
+// host (platform mmap support plus an aliasable memory layout), as opposed
+// to transparently falling back to a full-copy read. Benchmarks use it to
+// decide whether zero-copy expectations (O(1) open, no per-edge heap) apply.
+func MapIsZeroCopy() bool { return mmapSupported && canAlias() }
+
+// binLayout holds the byte offsets of every payload section for a given
+// header shape. Offsets are absolute (from the start of the file).
+type binLayout struct {
+	n, m             int
+	weighted, signed bool
+	offAdjOff        int64
+	offAdjTo         int64
+	offAdjIdx        int64
+	offEdges         int64
+	offWeights       int64
+	offSigns         int64
+	total            int64
+}
+
+func pad8(x int64) int64 { return (x + 7) &^ 7 }
+
+func layoutFor(n, m int, weighted, signed bool) binLayout {
+	l := binLayout{n: n, m: m, weighted: weighted, signed: signed}
+	cur := int64(binHeaderSize)
+	l.offAdjOff = cur
+	cur = pad8(cur + int64(n+1)*4)
+	l.offAdjTo = cur
+	cur += int64(m) * 8 // 2m half-edges * 4 bytes
+	l.offAdjIdx = cur
+	cur += int64(m) * 8
+	l.offEdges = cur
+	cur += int64(m) * edgeBytes
+	if weighted {
+		l.offWeights = cur
+		cur += int64(m) * 8
+	}
+	if signed {
+		l.offSigns = cur
+		cur += int64(m)
+	}
+	l.total = cur
+	return l
+}
+
+// binHeader is the decoded fixed-size header.
+type binHeader struct {
+	flags          uint32
+	n, m           int
+	maxDeg, minDeg int
+	maxW, totalW   int64
+	crc            uint32
+}
+
+func (h binHeader) weighted() bool { return h.flags&binFlagWeighted != 0 }
+func (h binHeader) signed() bool   { return h.flags&binFlagSigned != 0 }
+
+// encodeHeader renders the 64-byte header. The crc field is written as
+// given; pass 0 while computing the checksum of bytes [0:56].
+func encodeHeader(h binHeader) [binHeaderSize]byte {
+	var b [binHeaderSize]byte
+	copy(b[0:8], binMagic)
+	binary.LittleEndian.PutUint32(b[8:12], binVersion)
+	binary.LittleEndian.PutUint32(b[12:16], h.flags)
+	binary.LittleEndian.PutUint64(b[16:24], uint64(h.n))
+	binary.LittleEndian.PutUint64(b[24:32], uint64(h.m))
+	binary.LittleEndian.PutUint32(b[32:36], uint32(h.maxDeg))
+	binary.LittleEndian.PutUint32(b[36:40], uint32(h.minDeg))
+	binary.LittleEndian.PutUint64(b[40:48], uint64(h.maxW))
+	binary.LittleEndian.PutUint64(b[48:56], uint64(h.totalW))
+	binary.LittleEndian.PutUint32(b[56:60], h.crc)
+	return b
+}
+
+// decodeHeader parses and sanity-checks the 64-byte header.
+func decodeHeader(b []byte) (binHeader, error) {
+	var h binHeader
+	if len(b) < binHeaderSize {
+		return h, fmt.Errorf("graph: binary header truncated (%d bytes, want %d)", len(b), binHeaderSize)
+	}
+	if string(b[0:8]) != binMagic {
+		return h, fmt.Errorf("graph: bad magic %q (not a binary CSR graph file)", b[0:8])
+	}
+	if v := binary.LittleEndian.Uint32(b[8:12]); v != binVersion {
+		return h, fmt.Errorf("graph: unsupported binary format version %d (want %d)", v, binVersion)
+	}
+	h.flags = binary.LittleEndian.Uint32(b[12:16])
+	if h.flags&^uint32(binFlagWeighted|binFlagSigned) != 0 {
+		return h, fmt.Errorf("graph: unknown header flags %#x", h.flags)
+	}
+	n := binary.LittleEndian.Uint64(b[16:24])
+	m := binary.LittleEndian.Uint64(b[24:32])
+	if n > math.MaxInt32 {
+		return h, fmt.Errorf("graph: vertex count %d outside the CSR int32 index range", n)
+	}
+	if m > math.MaxInt32/2 {
+		return h, fmt.Errorf("graph: edge count %d outside the CSR int32 index range", m)
+	}
+	h.n, h.m = int(n), int(m)
+	h.maxDeg = int(binary.LittleEndian.Uint32(b[32:36]))
+	h.minDeg = int(binary.LittleEndian.Uint32(b[36:40]))
+	h.maxW = int64(binary.LittleEndian.Uint64(b[40:48]))
+	h.totalW = int64(binary.LittleEndian.Uint64(b[48:56]))
+	h.crc = binary.LittleEndian.Uint32(b[56:60])
+	if h.maxDeg > h.n || h.minDeg > h.n || h.maxDeg < h.minDeg {
+		return h, fmt.Errorf("graph: corrupt header degree stats (max %d, min %d, n %d)", h.maxDeg, h.minDeg, h.n)
+	}
+	if reserved := binary.LittleEndian.Uint32(b[60:64]); reserved != 0 {
+		return h, fmt.Errorf("graph: non-zero reserved header field %#x", reserved)
+	}
+	return h, nil
+}
+
+// int32sBytes returns the raw little-endian byte view of s on LE hosts, or
+// nil when a portable encode/decode loop must be used instead.
+func int32sBytes(s []int32) []byte {
+	if !hostLE || len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*4)
+}
+
+func int64sBytes(s []int64) []byte {
+	if !hostLE || len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*8)
+}
+
+func edgesBytes(s []Edge) []byte {
+	if !canAlias() || len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*edgeBytes)
+}
+
+func int8sBytes(s []int8) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s))
+}
+
+// binWriter couples the buffered output stream with an optional running
+// checksum (nil crc skips it: the checksum pre-pass already covered the
+// payload by the time the real write happens).
+type binWriter struct {
+	fw  *flushWriter
+	crc hash.Hash32
+	tmp []byte
+}
+
+func (bw *binWriter) raw(p []byte) error {
+	if bw.crc != nil {
+		bw.crc.Write(p)
+	}
+	_, err := bw.fw.Write(p)
+	return err
+}
+
+func (bw *binWriter) int32s(s []int32) error {
+	if b := int32sBytes(s); b != nil || len(s) == 0 {
+		return bw.raw(b)
+	}
+	for _, v := range s { // big-endian fallback
+		binary.LittleEndian.PutUint32(bw.tmp[:4], uint32(v))
+		if err := bw.raw(bw.tmp[:4]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (bw *binWriter) int64s(s []int64) error {
+	if b := int64sBytes(s); b != nil || len(s) == 0 {
+		return bw.raw(b)
+	}
+	for _, v := range s {
+		binary.LittleEndian.PutUint64(bw.tmp[:8], uint64(v))
+		if err := bw.raw(bw.tmp[:8]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (bw *binWriter) edges(s []Edge) error {
+	if b := edgesBytes(s); b != nil || len(s) == 0 {
+		return bw.raw(b)
+	}
+	for _, e := range s {
+		binary.LittleEndian.PutUint64(bw.tmp[:8], uint64(int64(e.U)))
+		binary.LittleEndian.PutUint64(bw.tmp[8:16], uint64(int64(e.V)))
+		if err := bw.raw(bw.tmp[:16]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteBinary writes g in the binary CSR format. The output is a pure
+// function of the graph (deterministic), and ReadBinary/OpenMapped recover a
+// Graph bit-identical to g — same arrays, same edge indices, same cached
+// statistics.
+func WriteBinary(w io.Writer, g *Graph) error {
+	hdr := binHeader{
+		n:      g.n,
+		m:      len(g.edges),
+		maxDeg: g.maxDeg,
+		minDeg: g.minDeg,
+		maxW:   g.maxW,
+		totalW: g.totalW,
+	}
+	if g.weight != nil {
+		hdr.flags |= binFlagWeighted
+	}
+	if g.sign != nil {
+		hdr.flags |= binFlagSigned
+	}
+	lay := layoutFor(hdr.n, hdr.m, g.weight != nil, g.sign != nil)
+
+	// The checksum covers header[0:56] and the payload, so it has to be
+	// computed before the header can be emitted. Payload sections are
+	// in-memory arrays, so the extra pass is pure CRC arithmetic.
+	crc := crc32.New(castagnoli)
+	head := encodeHeader(hdr)
+	crc.Write(head[:56])
+	sink := &binWriter{fw: &flushWriter{w: io.Discard, buf: make([]byte, 0, 1)}, crc: crc, tmp: make([]byte, 16)}
+	if err := writeSections(sink, g, lay); err != nil {
+		return err
+	}
+	hdr.crc = crc.Sum32()
+
+	fw := newFlushWriter(w)
+	head = encodeHeader(hdr)
+	if _, err := fw.Write(head[:]); err != nil {
+		return err
+	}
+	out := &binWriter{fw: fw, tmp: make([]byte, 16)}
+	if err := writeSections(out, g, lay); err != nil {
+		return err
+	}
+	return fw.Flush()
+}
+
+var zeroPad [8]byte
+
+// writeSections emits the payload sections with their alignment padding.
+func writeSections(bw *binWriter, g *Graph, lay binLayout) error {
+	if err := bw.int32s(g.adjOff); err != nil {
+		return err
+	}
+	if pad := lay.offAdjTo - (lay.offAdjOff + int64(len(g.adjOff))*4); pad > 0 {
+		if err := bw.raw(zeroPad[:pad]); err != nil {
+			return err
+		}
+	}
+	if err := bw.int32s(g.adjTo); err != nil {
+		return err
+	}
+	if err := bw.int32s(g.adjIdx); err != nil {
+		return err
+	}
+	if err := bw.edges(g.edges); err != nil {
+		return err
+	}
+	if g.weight != nil {
+		if err := bw.int64s(g.weight); err != nil {
+			return err
+		}
+	}
+	if g.sign != nil {
+		if err := bw.raw(int8sBytes(g.sign)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// binReader couples the input stream with the running checksum.
+type binReader struct {
+	r   io.Reader
+	crc hash.Hash32
+	tmp []byte
+}
+
+func (br *binReader) raw(p []byte) error {
+	if len(p) == 0 {
+		return nil
+	}
+	if _, err := io.ReadFull(br.r, p); err != nil {
+		return fmt.Errorf("graph: binary file truncated: %w", err)
+	}
+	br.crc.Write(p)
+	return nil
+}
+
+// sectionChunk bounds how many elements a section reader allocates ahead of
+// the bytes backing them: a corrupt header claiming billions of elements then
+// fails at the first missing byte instead of exhausting memory up front.
+// Sections larger than one chunk grow by capacity doubling, so honest large
+// files still load with O(1) reallocations per doubling, amortized O(n).
+const sectionChunk = 1 << 22
+
+// readSection reads count elements via chunked allocation. fill decodes
+// len(dst) elements from the stream into dst.
+func readSection[T any](count int, fill func(dst []T) error) ([]T, error) {
+	s := make([]T, 0, min(count, sectionChunk))
+	for len(s) < count {
+		k := min(count-len(s), sectionChunk)
+		if cap(s)-len(s) < k {
+			grown := make([]T, len(s), min(count, 2*cap(s)+k))
+			copy(grown, s)
+			s = grown
+		}
+		tail := s[len(s) : len(s)+k]
+		if err := fill(tail); err != nil {
+			return nil, err
+		}
+		s = s[:len(s)+k]
+	}
+	return s, nil
+}
+
+func (br *binReader) int32s(count int) ([]int32, error) {
+	return readSection(count, func(dst []int32) error {
+		if b := int32sBytes(dst); b != nil {
+			return br.raw(b)
+		}
+		for i := range dst {
+			if err := br.raw(br.tmp[:4]); err != nil {
+				return err
+			}
+			dst[i] = int32(binary.LittleEndian.Uint32(br.tmp[:4]))
+		}
+		return nil
+	})
+}
+
+func (br *binReader) int64s(count int) ([]int64, error) {
+	return readSection(count, func(dst []int64) error {
+		if b := int64sBytes(dst); b != nil {
+			return br.raw(b)
+		}
+		for i := range dst {
+			if err := br.raw(br.tmp[:8]); err != nil {
+				return err
+			}
+			dst[i] = int64(binary.LittleEndian.Uint64(br.tmp[:8]))
+		}
+		return nil
+	})
+}
+
+func (br *binReader) edgeSlice(count int) ([]Edge, error) {
+	return readSection(count, func(dst []Edge) error {
+		if b := edgesBytes(dst); b != nil {
+			return br.raw(b)
+		}
+		for i := range dst {
+			if err := br.raw(br.tmp[:16]); err != nil {
+				return err
+			}
+			dst[i] = Edge{
+				U: int(int64(binary.LittleEndian.Uint64(br.tmp[:8]))),
+				V: int(int64(binary.LittleEndian.Uint64(br.tmp[8:16]))),
+			}
+		}
+		return nil
+	})
+}
+
+func (br *binReader) int8s(count int) ([]int8, error) {
+	return readSection(count, func(dst []int8) error {
+		return br.raw(int8sBytes(dst))
+	})
+}
+
+// ReadBinary parses the binary CSR format, verifying the checksum. The
+// arrays are read in bulk straight into their final allocations, so loading
+// costs O(file size) with no per-edge parsing at all.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	var head [binHeaderSize]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return nil, fmt.Errorf("graph: reading binary header: %w", err)
+	}
+	hdr, err := decodeHeader(head[:])
+	if err != nil {
+		return nil, err
+	}
+	lay := layoutFor(hdr.n, hdr.m, hdr.weighted(), hdr.signed())
+
+	crc := crc32.New(castagnoli)
+	crc.Write(head[:56])
+	br := &binReader{r: r, crc: crc, tmp: make([]byte, 16)}
+
+	g := &Graph{
+		n:      hdr.n,
+		maxDeg: hdr.maxDeg,
+		minDeg: hdr.minDeg,
+		maxW:   hdr.maxW,
+		totalW: hdr.totalW,
+	}
+	if g.adjOff, err = br.int32s(hdr.n + 1); err != nil {
+		return nil, err
+	}
+	if pad := lay.offAdjTo - (lay.offAdjOff + int64(hdr.n+1)*4); pad > 0 {
+		var p [8]byte
+		if err := br.raw(p[:pad]); err != nil {
+			return nil, err
+		}
+	}
+	if g.adjTo, err = br.int32s(2 * hdr.m); err != nil {
+		return nil, err
+	}
+	if g.adjIdx, err = br.int32s(2 * hdr.m); err != nil {
+		return nil, err
+	}
+	if g.edges, err = br.edgeSlice(hdr.m); err != nil {
+		return nil, err
+	}
+	if hdr.weighted() {
+		if g.weight, err = br.int64s(hdr.m); err != nil {
+			return nil, err
+		}
+	}
+	if hdr.signed() {
+		if g.sign, err = br.int8s(hdr.m); err != nil {
+			return nil, err
+		}
+	}
+	if got := crc.Sum32(); got != hdr.crc {
+		return nil, fmt.Errorf("graph: binary checksum mismatch (file %#x, computed %#x): corrupt or truncated file", hdr.crc, got)
+	}
+	if err := validateCSR(g); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// validateCSR performs the structural checks that keep a corrupt-but-
+// checksum-valid file from producing out-of-bounds panics later: offsets
+// monotone and spanning exactly 2m, neighbor and edge indices in range.
+func validateCSR(g *Graph) error {
+	m := len(g.edges)
+	if g.adjOff[0] != 0 || int(g.adjOff[g.n]) != 2*m {
+		return fmt.Errorf("graph: corrupt CSR offsets (start %d, end %d, want 0 and %d)", g.adjOff[0], g.adjOff[g.n], 2*m)
+	}
+	for v := 0; v < g.n; v++ {
+		if g.adjOff[v] > g.adjOff[v+1] {
+			return fmt.Errorf("graph: corrupt CSR offsets at vertex %d", v)
+		}
+	}
+	for i, to := range g.adjTo {
+		if int(to) >= g.n || to < 0 || int(g.adjIdx[i]) >= m || g.adjIdx[i] < 0 {
+			return fmt.Errorf("graph: corrupt CSR adjacency at slot %d", i)
+		}
+	}
+	for _, e := range g.edges {
+		if e.U < 0 || e.V < 0 || e.U >= g.n || e.V >= g.n || e.U >= e.V {
+			return fmt.Errorf("graph: corrupt edge list entry %v", e)
+		}
+	}
+	return nil
+}
+
+// Mapped is a Graph whose arrays alias a memory-mapped file (or, on
+// platforms without mmap support, a plain copy read from it). The Graph is
+// valid until Close; Close unmaps the file, after which any access through
+// the Graph would fault — call Clone first if an independent copy must
+// outlive the mapping. The mapping is read-only and shared, so many
+// processes can serve the same on-disk graph from one page-cache copy.
+type Mapped struct {
+	Graph *Graph
+	data  []byte // nil when the graph was read by copy (fallback path)
+}
+
+// Close releases the mapping. The embedded Graph must not be used after.
+func (m *Mapped) Close() error {
+	data := m.data
+	m.data = nil
+	m.Graph = nil
+	if data == nil {
+		return nil
+	}
+	return unmap(data)
+}
+
+// mapGraph aliases the Graph arrays directly at the mapped region. Callers
+// have verified the platform supports aliasing (little-endian, 64-bit int)
+// and that the region is exactly the layout's total size.
+func mapGraph(data []byte) (*Graph, error) {
+	hdr, err := decodeHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	lay := layoutFor(hdr.n, hdr.m, hdr.weighted(), hdr.signed())
+	if int64(len(data)) != lay.total {
+		return nil, fmt.Errorf("graph: binary file is %d bytes, header implies %d", len(data), lay.total)
+	}
+	g := &Graph{
+		n:      hdr.n,
+		maxDeg: hdr.maxDeg,
+		minDeg: hdr.minDeg,
+		maxW:   hdr.maxW,
+		totalW: hdr.totalW,
+	}
+	g.adjOff = unsafe.Slice((*int32)(unsafe.Pointer(&data[lay.offAdjOff])), hdr.n+1)
+	if hdr.m > 0 {
+		g.adjTo = unsafe.Slice((*int32)(unsafe.Pointer(&data[lay.offAdjTo])), 2*hdr.m)
+		g.adjIdx = unsafe.Slice((*int32)(unsafe.Pointer(&data[lay.offAdjIdx])), 2*hdr.m)
+		g.edges = unsafe.Slice((*Edge)(unsafe.Pointer(&data[lay.offEdges])), hdr.m)
+		if hdr.weighted() {
+			g.weight = unsafe.Slice((*int64)(unsafe.Pointer(&data[lay.offWeights])), hdr.m)
+		}
+		if hdr.signed() {
+			g.sign = unsafe.Slice((*int8)(unsafe.Pointer(&data[lay.offSigns])), hdr.m)
+		}
+	} else {
+		g.edges = []Edge{}
+		if hdr.weighted() {
+			g.weight = []int64{}
+		}
+		if hdr.signed() {
+			g.sign = []int8{}
+		}
+	}
+	return g, nil
+}
+
+// readBinaryFallback backs OpenMapped on platforms (or byte orders) where
+// aliasing is impossible: the whole file is read and decoded instead.
+func readBinaryFallback(path string) (*Mapped, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g, err := ReadBinary(f)
+	if err != nil {
+		return nil, err
+	}
+	return &Mapped{Graph: g}, nil
+}
+
+// LoadFile reads a graph from path in either supported format, sniffing the
+// binary magic: binary CSR files go through ReadBinary, anything else
+// through the text edge-list parser.
+func LoadFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var magic [8]byte
+	n, err := io.ReadFull(f, magic[:])
+	if err != nil && err != io.ErrUnexpectedEOF && err != io.EOF {
+		return nil, err
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	if n == 8 && string(magic[:]) == binMagic {
+		return ReadBinary(f)
+	}
+	return ReadEdgeList(f)
+}

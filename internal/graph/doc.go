@@ -31,4 +31,34 @@
 // copy is genuinely needed (for example to hand to a solver that outlives
 // the base graph). See DESIGN.md §3.11 for the aliasing and ownership
 // contract.
+//
+// # Input and output
+//
+// Graphs move between memory and disk through three load paths, all
+// producing the same canonical CSR:
+//
+//   - Text edge lists (ReadEdgeList / WriteEdgeList): one "u v [w] [s]" pair
+//     per line. The parser streams bytes directly into a StreamingBuilder —
+//     no token-size limits, line-numbered errors, overflow checks — so
+//     multi-gigabyte lists parse in two passes with no intermediate edge
+//     buffer.
+//   - Binary CSR (ReadBinary / WriteBinary): the in-memory arrays verbatim
+//     behind a versioned, crc32c-checksummed 64-byte header. Round trips are
+//     bit-identical, including the cached aggregate stats, and loads are a
+//     few sequential reads.
+//   - Memory mapping (OpenMapped): maps a binary file read-only and aliases
+//     the CSR arrays in place on little-endian 64-bit hosts
+//     (MapIsZeroCopy reports availability). Opening validates only the
+//     header — O(1) in the edge count — and the heap stays empty; the
+//     returned Mapped owns the mapping and Close unmaps it. Platforms or
+//     hosts without the fast path degrade to a copying read behind the same
+//     call.
+//
+// LoadFile sniffs the format by magic and dispatches. For generating large
+// inputs, ErdosRenyiStream, RandomMaximalPlanarStream and RandomPlanarStream
+// assemble CSR in parallel from per-row splitmix64 streams; the planar
+// variants are byte-identical to their Builder counterparts for equal seeds.
+// StreamingBuilder is the shared two-pass assembly they and the text parser
+// build on. See DESIGN.md §3.13 for the on-disk layout and the aliasing
+// rules.
 package graph

@@ -1,0 +1,436 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Streaming generators for huge inputs. The Builder path buffers every edge
+// in a pending slice and sorts it (O(m) extra memory, O(m log m) time); the
+// generators here emit edges already in canonical order — or as packed
+// uint64 keys whose numeric order IS the canonical order — and assemble the
+// CSR arrays directly, in parallel. Their outputs are bit-identical to what
+// the equivalent Builder construction produces, so every consumer downstream
+// (views, decompositions, the simulator) sees the same graph either way.
+
+// splitmix64 advances *s and returns the next value of the splitmix64
+// sequence. Each generator row gets its own arithmetic-progression start
+// state, which is exactly the stream structure splitmix64 is designed for;
+// per-row streams are what make the parallel generators produce identical
+// output for every worker count.
+func splitmix64(s *uint64) uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// rowFloat64 returns a uniform float64 in the open interval (0, 1).
+func rowFloat64(s *uint64) float64 {
+	return (float64(splitmix64(s)>>11) + 0.5) * (1.0 / (1 << 53))
+}
+
+func normWorkers(workers int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// erRow calls emit(j) for every sampled neighbor j > i of row i, using
+// geometric skip sampling: instead of flipping a coin per candidate pair, it
+// jumps straight to the next success, so a row costs O(degree) draws rather
+// than O(n). invLog is 1/log(1-p). The sequence depends only on (seed, i),
+// never on which worker runs the row or in which pass.
+func erRow(i, n int, invLog float64, seed int64, emit func(j int)) {
+	state := uint64(seed) + 0x9e3779b97f4a7c15*uint64(i+1)
+	j := i
+	for {
+		gap := math.Floor(math.Log(rowFloat64(&state)) * invLog)
+		if gap >= float64(n-j) { // also catches +Inf
+			return
+		}
+		j += 1 + int(gap)
+		if j >= n {
+			return
+		}
+		emit(j)
+	}
+}
+
+// ErdosRenyiStream samples G(n, p) directly into CSR form. Unlike ErdosRenyi
+// it never materializes a pending edge buffer and costs O(m) draws instead of
+// O(n^2): pass one counts each row's successes, pass two replays the same
+// per-row random streams to place edges at their final offsets. Rows are
+// distributed over workers (0 means GOMAXPROCS), and because every row owns
+// an independent stream keyed by (seed, row), the result is a deterministic
+// function of (n, p, seed) alone — any worker count builds the same graph.
+//
+// The sampler consumes a different random stream than ErdosRenyi's rand.Rand,
+// so the two functions produce different (equally distributed) graphs.
+func ErdosRenyiStream(n int, p float64, seed int64, workers int) *Graph {
+	if n < 0 || n > math.MaxInt32 {
+		panic(fmt.Sprintf("graph: n=%d outside the CSR int32 index range", n))
+	}
+	workers = normWorkers(workers)
+	if p >= 1 {
+		return Complete(n)
+	}
+	g := &Graph{n: n}
+	g.adjOff = make([]int32, n+1)
+	g.edges = []Edge{}
+	if p <= 0 || n < 2 {
+		return g
+	}
+	invLog := 1 / math.Log1p(-p)
+
+	// Pass 1: count. rowCount[i] is owned by row i's worker; deg sees
+	// scattered increments from lower rows, so it is updated atomically.
+	rowCount := make([]int32, n)
+	deg := make([]int32, n)
+	parallelRows(n, workers, func(i int) {
+		var k int32
+		erRow(i, n, invLog, seed, func(j int) {
+			k++
+			atomic.AddInt32(&deg[j], 1)
+		})
+		rowCount[i] = k
+		atomic.AddInt32(&deg[i], k)
+	})
+
+	var m int64
+	rowStart := make([]int64, n+1)
+	for i := 0; i < n; i++ {
+		rowStart[i] = m
+		m += int64(rowCount[i])
+	}
+	rowStart[n] = m
+	if m > math.MaxInt32/2 {
+		panic(fmt.Sprintf("graph: m=%d exceeds the CSR int32 index range", m))
+	}
+	for v := 0; v < n; v++ {
+		g.adjOff[v+1] = g.adjOff[v] + deg[v]
+	}
+
+	g.edges = make([]Edge, m)
+	g.adjTo = make([]int32, 2*m)
+	g.adjIdx = make([]int32, 2*m)
+	cursor := make([]int32, n)
+	copy(cursor, g.adjOff[:n])
+
+	// Pass 2: replay the identical streams and place every edge at its
+	// final index. Slots within a row are claimed atomically, then pass 3
+	// restores the canonical neighbor-sorted row order.
+	parallelRows(n, workers, func(i int) {
+		idx := rowStart[i]
+		erRow(i, n, invLog, seed, func(j int) {
+			placeHalfEdges(g, cursor, i, j, int32(idx))
+			g.edges[idx] = Edge{U: i, V: j}
+			idx++
+		})
+	})
+	parallelRows(n, workers, func(v int) {
+		lo, hi := g.adjOff[v], g.adjOff[v+1]
+		sortRowAny(g.adjTo[lo:hi], g.adjIdx[lo:hi])
+	})
+	g.finishStats()
+	return g
+}
+
+// placeHalfEdges claims one adjacency slot in row u and one in row v.
+func placeHalfEdges(g *Graph, cursor []int32, u, v int, idx int32) {
+	su := atomic.AddInt32(&cursor[u], 1) - 1
+	sv := atomic.AddInt32(&cursor[v], 1) - 1
+	g.adjTo[su], g.adjIdx[su] = int32(v), idx
+	g.adjTo[sv], g.adjIdx[sv] = int32(u), idx
+}
+
+// parallelRows runs fn(i) for every i in [0, n), fanning blocks of rows out
+// to the given number of workers. fn must be safe to call concurrently for
+// distinct i.
+func parallelRows(n, workers int, fn func(i int)) {
+	const block = 1024
+	if workers <= 1 || n <= block {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(atomic.AddInt64(&next, block)) - block
+				if lo >= n {
+					return
+				}
+				hi := min(lo+block, n)
+				for i := lo; i < hi; i++ {
+					fn(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// sortRowAny sorts an adjacency row by neighbor ID, keeping edge indices
+// paired. Small rows use the shared insertion sort; large rows (hubs of
+// triangulations, wheels) would be quadratic there, so they fall back to a
+// comparison sort.
+func sortRowAny(to, idx []int32) {
+	if len(to) <= 32 {
+		sortRow(to, idx)
+		return
+	}
+	sort.Sort(&pairedRow{to: to, idx: idx})
+}
+
+type pairedRow struct{ to, idx []int32 }
+
+func (p *pairedRow) Len() int           { return len(p.to) }
+func (p *pairedRow) Less(i, j int) bool { return p.to[i] < p.to[j] }
+func (p *pairedRow) Swap(i, j int) {
+	p.to[i], p.to[j] = p.to[j], p.to[i]
+	p.idx[i], p.idx[j] = p.idx[j], p.idx[i]
+}
+
+// packEdge encodes a canonical edge as a uint64 whose numeric order is the
+// canonical (U, V) order.
+func packEdge(u, v int) uint64 { return uint64(u)<<32 | uint64(v) }
+
+// fromPackedEdges assembles a CSR graph from packed canonical edges (u<<32|v
+// with u < v). The slice is sorted in place (in parallel), validated, and
+// placed with the same parallel scheme as ErdosRenyiStream. The result is
+// bit-identical to feeding the same edges through a Builder.
+func fromPackedEdges(n int, packed []uint64, workers int) (*Graph, error) {
+	if n < 0 || n > math.MaxInt32 {
+		return nil, fmt.Errorf("graph: n=%d outside the CSR int32 index range", n)
+	}
+	if len(packed) > math.MaxInt32/2 {
+		return nil, fmt.Errorf("graph: m=%d exceeds the CSR int32 index range", len(packed))
+	}
+	workers = normWorkers(workers)
+	parallelSortUint64(packed, workers)
+
+	g := &Graph{n: n}
+	g.adjOff = make([]int32, n+1)
+	g.edges = make([]Edge, len(packed))
+	m := len(packed)
+	if m > 0 {
+		g.adjTo = make([]int32, 2*m)
+		g.adjIdx = make([]int32, 2*m)
+	}
+
+	deg := make([]int32, n+1) // one slack slot so n=0 stays allocation-safe
+	var firstErr atomic.Value
+	parallelEdgeRanges(m, workers, func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			u, v := int(packed[k]>>32), int(packed[k]&0xffffffff)
+			if u >= v || v >= n {
+				firstErr.CompareAndSwap(nil, fmt.Errorf("graph: invalid packed edge {%d,%d} for n=%d", u, v, n))
+				return
+			}
+			if k > 0 && packed[k] == packed[k-1] {
+				firstErr.CompareAndSwap(nil, fmt.Errorf("graph: duplicate edge {%d,%d}", u, v))
+				return
+			}
+			atomic.AddInt32(&deg[u], 1)
+			atomic.AddInt32(&deg[v], 1)
+		}
+	})
+	if err, _ := firstErr.Load().(error); err != nil {
+		return nil, err
+	}
+	for v := 0; v < n; v++ {
+		g.adjOff[v+1] = g.adjOff[v] + deg[v]
+	}
+	cursor := make([]int32, n)
+	copy(cursor, g.adjOff[:n])
+	parallelEdgeRanges(m, workers, func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			u, v := int(packed[k]>>32), int(packed[k]&0xffffffff)
+			placeHalfEdges(g, cursor, u, v, int32(k))
+			g.edges[k] = Edge{U: u, V: v}
+		}
+	})
+	parallelRows(n, workers, func(v int) {
+		lo, hi := g.adjOff[v], g.adjOff[v+1]
+		sortRowAny(g.adjTo[lo:hi], g.adjIdx[lo:hi])
+	})
+	g.finishStats()
+	return g, nil
+}
+
+// parallelEdgeRanges splits [0, m) into contiguous per-worker ranges.
+func parallelEdgeRanges(m, workers int, fn func(lo, hi int)) {
+	if workers <= 1 || m < 1<<14 {
+		fn(0, m)
+		return
+	}
+	var wg sync.WaitGroup
+	per := (m + workers - 1) / workers
+	for lo := 0; lo < m; lo += per {
+		hi := min(lo+per, m)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// parallelSortUint64 sorts s ascending: per-worker chunks sorted
+// concurrently, then pairwise merged.
+func parallelSortUint64(s []uint64, workers int) {
+	if workers <= 1 || len(s) < 1<<16 {
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		return
+	}
+	per := (len(s) + workers - 1) / workers
+	var chunks [][]uint64
+	var wg sync.WaitGroup
+	for lo := 0; lo < len(s); lo += per {
+		hi := min(lo+per, len(s))
+		c := s[lo:hi]
+		chunks = append(chunks, c)
+		wg.Add(1)
+		go func(c []uint64) {
+			defer wg.Done()
+			sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+		}(c)
+	}
+	wg.Wait()
+	buf := make([]uint64, len(s))
+	for len(chunks) > 1 {
+		var mwg sync.WaitGroup
+		merged := make([][]uint64, 0, (len(chunks)+1)/2)
+		pos := 0
+		for i := 0; i < len(chunks); i += 2 {
+			if i+1 == len(chunks) {
+				dst := buf[pos : pos+len(chunks[i])]
+				copy(dst, chunks[i])
+				merged = append(merged, dst)
+				pos += len(dst)
+				continue
+			}
+			a, b := chunks[i], chunks[i+1]
+			dst := buf[pos : pos+len(a)+len(b)]
+			pos += len(dst)
+			merged = append(merged, dst)
+			mwg.Add(1)
+			go func(a, b, dst []uint64) {
+				defer mwg.Done()
+				mergeUint64(a, b, dst)
+			}(a, b, dst)
+		}
+		mwg.Wait()
+		// Copy the merged level back into s so the next level (and the
+		// final result) lives in the caller's slice.
+		pos = 0
+		for i := range merged {
+			copy(s[pos:pos+len(merged[i])], merged[i])
+			merged[i] = s[pos : pos+len(merged[i])]
+			pos += len(merged[i])
+		}
+		chunks = merged
+	}
+}
+
+func mergeUint64(a, b, dst []uint64) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			dst[k] = a[i]
+			i++
+		} else {
+			dst[k] = b[j]
+			j++
+		}
+		k++
+	}
+	copy(dst[k:], a[i:])
+	copy(dst[k+len(a)-i:], b[j:])
+}
+
+// RandomMaximalPlanarStream is RandomMaximalPlanar without the Builder: it
+// consumes rng in the exact same call sequence (one Intn per inserted
+// vertex), so for equal seeds it returns the identical graph, but it
+// accumulates packed edges and assembles the CSR arrays in parallel. Use it
+// when n is large enough that the pending-buffer sort dominates.
+func RandomMaximalPlanarStream(n int, rng *rand.Rand, workers int) *Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("graph: maximal planar needs n >= 3, got %d", n))
+	}
+	packed := make([]uint64, 0, 3*n-6)
+	packed = append(packed, packEdge(0, 1), packEdge(1, 2), packEdge(0, 2))
+	faces := make([][3]int, 2, 2*n)
+	faces[0] = [3]int{0, 1, 2}
+	faces[1] = [3]int{0, 1, 2}
+	for v := 3; v < n; v++ {
+		fi := rng.Intn(len(faces))
+		f := faces[fi]
+		// v is larger than every existing vertex, so {f[k], v} is canonical.
+		packed = append(packed, packEdge(f[0], v), packEdge(f[1], v), packEdge(f[2], v))
+		faces[fi] = [3]int{v, f[0], f[1]}
+		faces = append(faces, [3]int{v, f[0], f[2]}, [3]int{v, f[1], f[2]})
+	}
+	g, err := fromPackedEdges(n, packed, workers)
+	if err != nil {
+		panic(err) // unreachable: the construction emits distinct in-range edges
+	}
+	return g
+}
+
+// RandomPlanarStream is RandomPlanar on the streaming substrate: identical
+// rng consumption (triangulation insertions, one Float64 per edge, one
+// Shuffle, union-find repair in the same order), identical output for equal
+// seeds, but no intermediate Builder graphs.
+func RandomPlanarStream(n int, keep float64, rng *rand.Rand, workers int) *Graph {
+	if keep < 0 {
+		keep = 0
+	}
+	if keep > 1 {
+		keep = 1
+	}
+	tri := RandomMaximalPlanarStream(n, rng, workers)
+	kept := make([]uint64, 0, tri.M())
+	var dropped []Edge
+	for _, e := range tri.Edges() {
+		if rng.Float64() < keep {
+			kept = append(kept, packEdge(e.U, e.V))
+		} else {
+			dropped = append(dropped, e)
+		}
+	}
+	// Reconnect with dropped edges. Kept edges are already canonical-order,
+	// matching the Edges() iteration RandomPlanar unions over.
+	uf := NewUnionFind(n)
+	for _, p := range kept {
+		uf.Union(int(p>>32), int(p&0xffffffff))
+	}
+	rng.Shuffle(len(dropped), func(i, j int) { dropped[i], dropped[j] = dropped[j], dropped[i] })
+	for _, e := range dropped {
+		if uf.Sets() == 1 {
+			break
+		}
+		if uf.Union(e.U, e.V) {
+			kept = append(kept, packEdge(e.U, e.V))
+		}
+	}
+	g, err := fromPackedEdges(n, kept, workers)
+	if err != nil {
+		panic(err) // unreachable: kept edges are distinct and in range
+	}
+	return g
+}

@@ -1,0 +1,152 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestFromPackedEdgesMatchesBuilder feeds identical edge sets through the
+// packed-parallel assembler and the Builder and requires bit-identical CSR
+// arrays, across worker counts.
+func TestFromPackedEdgesMatchesBuilder(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	graphs := map[string]*Graph{
+		"grid":   Grid(9, 7),
+		"planar": RandomMaximalPlanar(150, rng),
+		"wheel":  Wheel(200), // one hub row larger than the insertion-sort cutoff
+		"er":     ErdosRenyi(80, 0.2, rng),
+		"empty":  NewBuilder(4).Graph(),
+		"none":   NewBuilder(0).Graph(),
+	}
+	for name, g := range graphs {
+		for _, workers := range []int{1, 3, 8} {
+			packed := make([]uint64, g.M())
+			for i, e := range g.Edges() {
+				packed[i] = packEdge(e.U, e.V)
+			}
+			// Scramble so the assembler proves its sort.
+			rng.Shuffle(len(packed), func(i, j int) { packed[i], packed[j] = packed[j], packed[i] })
+			got, err := fromPackedEdges(g.N(), packed, workers)
+			if err != nil {
+				t.Fatalf("%s/workers=%d: %v", name, workers, err)
+			}
+			requireIdenticalGraphs(t, got, g)
+		}
+	}
+}
+
+func TestFromPackedEdgesErrors(t *testing.T) {
+	if _, err := fromPackedEdges(3, []uint64{packEdge(0, 1), packEdge(0, 1)}, 1); err == nil {
+		t.Fatal("expected duplicate-edge error")
+	}
+	if _, err := fromPackedEdges(3, []uint64{packEdge(0, 5)}, 1); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	if _, err := fromPackedEdges(3, []uint64{packEdge(2, 1)}, 1); err == nil {
+		t.Fatal("expected non-canonical error")
+	}
+}
+
+// TestErdosRenyiStreamDeterministic: the sampled graph is a function of
+// (n, p, seed) only — every worker count builds the identical object.
+func TestErdosRenyiStreamDeterministic(t *testing.T) {
+	base := ErdosRenyiStream(500, 0.02, 42, 1)
+	for _, workers := range []int{2, 4, 7} {
+		requireIdenticalGraphs(t, ErdosRenyiStream(500, 0.02, 42, workers), base)
+	}
+	other := ErdosRenyiStream(500, 0.02, 43, 2)
+	if other.M() == base.M() {
+		same := true
+		for i := 0; i < base.M(); i++ {
+			if base.EdgeAt(i) != other.EdgeAt(i) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced the same graph")
+		}
+	}
+}
+
+// TestErdosRenyiStreamDistribution sanity-checks the skip sampler: the edge
+// count lands near n(n-1)/2 * p, and edges are canonical and deduplicated.
+func TestErdosRenyiStreamDistribution(t *testing.T) {
+	n, p := 400, 0.05
+	g := ErdosRenyiStream(n, p, 7, 4)
+	mean := float64(n) * float64(n-1) / 2 * p
+	sd := math.Sqrt(mean * (1 - p))
+	if got := float64(g.M()); math.Abs(got-mean) > 6*sd {
+		t.Fatalf("edge count %0.f implausibly far from mean %.0f (sd %.1f)", got, mean, sd)
+	}
+	edges := g.Edges()
+	if !sort.SliceIsSorted(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	}) {
+		t.Fatal("edges not in canonical order")
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i] == edges[i-1] {
+			t.Fatalf("duplicate edge %v", edges[i])
+		}
+	}
+}
+
+func TestErdosRenyiStreamEdgeCases(t *testing.T) {
+	if g := ErdosRenyiStream(10, 0, 1, 2); g.M() != 0 || g.N() != 10 {
+		t.Fatal("p=0 must give an empty graph")
+	}
+	if g := ErdosRenyiStream(6, 1, 1, 2); g.M() != 15 {
+		t.Fatalf("p=1 must give K_6, got m=%d", g.M())
+	}
+	if g := ErdosRenyiStream(0, 0.5, 1, 2); g.N() != 0 || g.M() != 0 {
+		t.Fatal("n=0 must give the empty graph")
+	}
+	requireIdenticalGraphs(t, ErdosRenyiStream(6, 1, 1, 2), Complete(6))
+}
+
+// TestRandomMaximalPlanarStreamMatches: same seed, same graph as the Builder
+// implementation — the streaming path replays the identical rng sequence.
+func TestRandomMaximalPlanarStreamMatches(t *testing.T) {
+	for _, n := range []int{3, 4, 50, 700} {
+		for _, workers := range []int{1, 4} {
+			want := RandomMaximalPlanar(n, rand.New(rand.NewSource(99)))
+			got := RandomMaximalPlanarStream(n, rand.New(rand.NewSource(99)), workers)
+			requireIdenticalGraphs(t, got, want)
+		}
+	}
+}
+
+func TestRandomPlanarStreamMatches(t *testing.T) {
+	for _, keep := range []float64{0, 0.3, 0.8, 1} {
+		want := RandomPlanar(300, keep, rand.New(rand.NewSource(5)))
+		got := RandomPlanarStream(300, keep, rand.New(rand.NewSource(5)), 3)
+		requireIdenticalGraphs(t, got, want)
+	}
+}
+
+func TestParallelSortUint64(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, size := range []int{0, 1, 100, 1<<16 + 313} {
+		s := make([]uint64, size)
+		for i := range s {
+			s[i] = rng.Uint64()
+		}
+		want := append([]uint64(nil), s...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for _, workers := range []int{1, 2, 5} {
+			c := append([]uint64(nil), s...)
+			parallelSortUint64(c, workers)
+			for i := range c {
+				if c[i] != want[i] {
+					t.Fatalf("size=%d workers=%d: mismatch at %d", size, workers, i)
+				}
+			}
+		}
+	}
+}

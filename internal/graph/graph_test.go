@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"io"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -465,6 +466,8 @@ func TestEdgeListRoundTrip(t *testing.T) {
 }
 
 // writerBuffer is a minimal io.ReadWriter to avoid importing bytes in tests.
+// It is deliberately NOT an io.Seeker, so reads through it exercise the
+// parser's buffered (non-seekable) path.
 type writerBuffer struct {
 	data []byte
 	pos  int
@@ -477,16 +480,12 @@ func (b *writerBuffer) Write(p []byte) (int, error) {
 
 func (b *writerBuffer) Read(p []byte) (int, error) {
 	if b.pos >= len(b.data) {
-		return 0, errEOF{}
+		return 0, io.EOF
 	}
 	n := copy(p, b.data[b.pos:])
 	b.pos += n
 	return n, nil
 }
-
-type errEOF struct{}
-
-func (errEOF) Error() string { return "EOF" }
 
 func TestReadEdgeListErrors(t *testing.T) {
 	bad := []string{

@@ -1,0 +1,137 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestReadEdgeListSeekable exercises the two-pass streaming path (bytes.Reader
+// is an io.ReadSeeker) on the canonical output of WriteEdgeList.
+func TestReadEdgeListSeekable(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, g := range []*Graph{
+		Grid(6, 5),
+		WithRandomWeights(RandomMaximalPlanar(40, rng), 1000, rng),
+		WithRandomSigns(Hypercube(4), 0.5, rng),
+		NewBuilder(3).Graph(),
+	} {
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		got, err := ReadEdgeList(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		requireIdenticalGraphs(t, got, g)
+		// And the round trip is byte-identical.
+		var buf2 bytes.Buffer
+		if err := WriteEdgeList(&buf2, got); err != nil {
+			t.Fatalf("rewrite: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatal("text round trip is not byte-identical")
+		}
+	}
+}
+
+// TestReadEdgeListUnsortedFallback feeds edges in non-canonical order (which
+// WriteEdgeList never produces) and checks the Builder fallback reproduces
+// the historical semantics, including later-duplicate-wins.
+func TestReadEdgeListUnsortedFallback(t *testing.T) {
+	in := "4 4\n2 3\n0 1\n1 0\n0 2\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if g.M() != 3 {
+		t.Fatalf("M = %d, want 3 (duplicate 0-1 deduped)", g.M())
+	}
+	want := NewBuilder(4)
+	want.AddEdge(2, 3)
+	want.AddEdge(0, 1)
+	want.AddEdge(0, 2)
+	requireIdenticalGraphs(t, g, want.Graph())
+
+	weighted := "3 3 weighted\n1 2 7\n0 1 5\n0 1 9\n"
+	gw, err := ReadEdgeList(strings.NewReader(weighted))
+	if err != nil {
+		t.Fatalf("read weighted: %v", err)
+	}
+	if idx, ok := gw.EdgeIndex(0, 1); !ok || gw.Weight(idx) != 9 {
+		t.Fatalf("duplicate weighted edge: want last-wins weight 9")
+	}
+}
+
+// TestReadEdgeListLongLine verifies there is no line-length cap: a header
+// line padded past the old 1 MiB Scanner limit still parses.
+func TestReadEdgeListLongLine(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("3 1")
+	for i := 0; i < (1<<20)+4096; i++ {
+		sb.WriteByte(' ')
+	}
+	sb.WriteString("weighted\n0 1 3\n")
+	g, err := ReadEdgeList(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("read with >1MiB line: %v", err)
+	}
+	if !g.Weighted() || g.Weight(0) != 3 {
+		t.Fatal("long header line parsed incorrectly")
+	}
+}
+
+// TestReadEdgeListLineNumberedErrors checks that malformed input reports the
+// offending 1-based line instead of silently producing garbage indices.
+func TestReadEdgeListLineNumberedErrors(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"id-out-of-range", "3 2\n0 1\n0 5\n", "line 3"},
+		{"huge-id-overflows", "3 1\n0 99999999999999999999999999\n", "line 2"},
+		{"id-past-int32", "1000 1\n0 4294967296\n", "line 2"},
+		{"n-past-int32", "4294967296 0\n", "line 1"},
+		{"self-loop", "3 1\n2 2\n", "line 2"},
+		{"bad-field", "3 1\n0 x\n", "line 2"},
+		{"too-many-fields", "3 1\n0 1 5\n", "line 2"},
+		{"missing-field", "3 1 weighted\n0 1\n", "line 2"},
+		{"bad-sign", "3 1 signed\n0 1 2\n", "line 2"},
+		{"negative-weight", "3 1 weighted\n0 1 -4\n", "line 2"},
+		{"truncated", "3 2\n0 1\n", "line 3"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadEdgeList(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatalf("input %q: expected error", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not name %s", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestReadEdgeListCRLF accepts Windows line endings.
+func TestReadEdgeListCRLF(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("3 2\r\n0 1\r\n1 2\r\n"))
+	if err != nil {
+		t.Fatalf("read CRLF: %v", err)
+	}
+	if g.M() != 2 {
+		t.Fatalf("M = %d, want 2", g.M())
+	}
+}
+
+// TestReadEdgeListNoTrailingNewline parses input whose last line lacks \n.
+func TestReadEdgeListNoTrailingNewline(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("3 2\n0 1\n1 2"))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if g.M() != 2 {
+		t.Fatalf("M = %d, want 2", g.M())
+	}
+}

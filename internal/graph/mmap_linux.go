@@ -1,0 +1,54 @@
+//go:build linux
+
+package graph
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// OpenMapped memory-maps a binary CSR file read-only and aliases the Graph
+// arrays directly at the mapped pages, so opening costs O(1) in the edge
+// count: no bytes are copied or even touched until the graph is traversed,
+// at which point the kernel pages them in on demand (and shares them across
+// processes via the page cache). The checksum is deliberately not verified —
+// that would force a full read and defeat the point; use ReadBinary when
+// integrity matters more than open latency.
+//
+// On hosts where the on-disk layout cannot alias Go slices (big-endian or
+// 32-bit int), OpenMapped transparently falls back to a full ReadBinary copy.
+func OpenMapped(path string) (*Mapped, error) {
+	if !canAlias() {
+		return readBinaryFallback(path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	if size < binHeaderSize {
+		return nil, fmt.Errorf("graph: %s is %d bytes, smaller than the binary header", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("graph: mmap %s: %w", path, err)
+	}
+	g, err := mapGraph(data)
+	if err != nil {
+		syscall.Munmap(data)
+		return nil, err
+	}
+	return &Mapped{Graph: g, data: data}, nil
+}
+
+func unmap(data []byte) error { return syscall.Munmap(data) }
+
+// mmapSupported reports at compile time that OpenMapped has a real mapping
+// path on this platform (it may still fall back when canAlias() is false).
+const mmapSupported = true

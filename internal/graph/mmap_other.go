@@ -1,0 +1,14 @@
+//go:build !linux
+
+package graph
+
+// OpenMapped on platforms without the mmap fast path reads the file by copy;
+// the Mapped wrapper keeps the call site portable. See mmap_linux.go for the
+// zero-copy contract this stands in for.
+func OpenMapped(path string) (*Mapped, error) {
+	return readBinaryFallback(path)
+}
+
+func unmap(data []byte) error { return nil }
+
+const mmapSupported = false
