@@ -27,8 +27,8 @@
 //
 // Usage:
 //
-//	benchjson [-pr 7] [-out BENCH_7.json] [-benchtime 100ms]
-//	          [-check BENCH_7.json] [-tolerance 0.25]
+//	benchjson [-pr 8] [-out BENCH_8.json] [-benchtime 100ms]
+//	          [-check BENCH_8.json] [-tolerance 0.25]
 //	          [-minspeedup 1.5] [-hostmode relax|refuse]
 //	          [-iosizes 1000000,10000000] [-iodir /tmp]
 //	          [-iominratio 5] [-iomaxopen 10ms]
@@ -322,7 +322,7 @@ func checkIO(fresh *report, minRatio float64, maxOpen time.Duration) []string {
 }
 
 func main() {
-	pr := flag.Int("pr", 7, "PR number recorded in the report (names the default output file)")
+	pr := flag.Int("pr", 8, "PR number recorded in the report (names the default output file)")
 	out := flag.String("out", "", "output file (default BENCH_<pr>.json)")
 	benchtime := flag.String("benchtime", "100ms", "per-benchmark run budget (Go benchtime syntax)")
 	checkPath := flag.String("check", "", "baseline BENCH_<pr>.json to regression-check against (empty disables)")

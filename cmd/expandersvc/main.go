@@ -1,0 +1,95 @@
+// Command expandersvc is the resident decomposition-as-a-service server:
+// it loads a graph once (text edge list, binary CSR, or zero-copy mmap),
+// computes its expander decomposition once, and serves approximate-matching
+// / MIS / clustering / walk-routing queries over HTTP against that cached
+// snapshot, with request coalescing, per-(epoch, params) result caching,
+// hot snapshot swap via POST /reload, and graceful shutdown.
+//
+// Usage:
+//
+//	expandersvc -graph er.bin [-mmap] [-addr :8080] [-eps 0.3] [-seed 1]
+//	            [-decworkers 4] [-simworkers 0] [-batchwindow 2ms]
+//	            [-shutdowntimeout 10s]
+//
+// Endpoints (full schemas in API.md):
+//
+//	GET  /healthz          liveness + current epoch
+//	GET  /statz            snapshot, cache, batching and per-family counters
+//	POST /reload           build a new snapshot off to the side and swap it in
+//	POST /query/matching   approximate maximum weight matching
+//	POST /query/mis        approximate maximum independent set
+//	POST /query/clustering low-diameter clustering
+//	POST /query/walkroute  Lemma 2.4 random-walk routing to cluster leaders
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"expandergap/internal/serve"
+)
+
+func main() {
+	graphFlag := flag.String("graph", "", "graph file to serve (text edge list or binary CSR; required)")
+	mmapFlag := flag.Bool("mmap", false, "memory-map the graph file (binary CSR only; file must outlive the process)")
+	addrFlag := flag.String("addr", ":8080", "listen address")
+	epsFlag := flag.Float64("eps", 0.3, "decomposition edge-removal budget ε")
+	seedFlag := flag.Int64("seed", 1, "decomposition seed")
+	decWorkers := flag.Int("decworkers", 1, "parallel decomposer workers (>1 enables the parallel recursion)")
+	simWorkers := flag.Int("simworkers", 0, "simulator executor workers per query (0 = sequential)")
+	batchWindow := flag.Duration("batchwindow", 2*time.Millisecond, "how long a flight leader waits for coalescing followers")
+	shutdownTimeout := flag.Duration("shutdowntimeout", 10*time.Second, "graceful drain budget on SIGINT/SIGTERM")
+	flag.Parse()
+	if *graphFlag == "" {
+		fmt.Fprintln(os.Stderr, "expandersvc: -graph is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	logger := log.New(os.Stderr, "expandersvc: ", log.LstdFlags)
+	srv, err := serve.New(serve.Config{
+		Spec: serve.Spec{
+			Path: *graphFlag, Mmap: *mmapFlag,
+			Eps: *epsFlag, Seed: *seedFlag, DecWorkers: *decWorkers,
+		},
+		SimWorkers:  *simWorkers,
+		BatchWindow: *batchWindow,
+		Log:         logger,
+	})
+	if err != nil {
+		logger.Fatalf("startup: %v", err)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addrFlag,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.ListenAndServe() }()
+	logger.Printf("serving on %s (epoch %d)", *addrFlag, srv.Epoch())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		logger.Fatalf("listener: %v", err)
+	case got := <-sig:
+		logger.Printf("received %v, draining (budget %v)", got, *shutdownTimeout)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Printf("shutdown: %v", err)
+	}
+	srv.Close()
+	logger.Printf("bye")
+}

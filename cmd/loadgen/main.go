@@ -1,0 +1,175 @@
+// Command loadgen is the closed-loop load generator for expandersvc: N
+// concurrent clients per point issue back-to-back queries against each
+// family, recording QPS, p50/p99 latency, cache hit rate and coalescing
+// batch occupancy, plus an optional hot-reload-under-load exercise. The
+// measurements land in the "serve" section of a BENCH_<pr>.json report
+// (merged into an existing report with -merge, so the benchjson sections
+// survive untouched).
+//
+// Usage:
+//
+//	loadgen -addr http://127.0.0.1:8080 [-families matching,mis]
+//	        [-clients 1,4,16] [-requests 25] [-seeds 8] [-eps 0.25]
+//	        [-reloads 3] [-out BENCH_8.json] [-merge] [-check] [-pr 8]
+//
+// With -check, loadgen gates the run it just measured: every point must
+// complete with zero failed requests, positive QPS and p50 <= p99, and the
+// reload exercise (if run) must finish with zero reload failures, zero
+// failed requests and zero epoch regressions. Exit status 1 on violation.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"expandergap/internal/benchmarks"
+)
+
+func parseInts(csv string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(csv, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.Atoi(f)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad count %q", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFamilies(csv string) []string {
+	var out []string
+	for _, f := range strings.Split(csv, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// checkReport applies the within-run gates. Returns the violations found.
+func checkReport(rep *benchmarks.ServeReport, wantReloads int) []string {
+	var bad []string
+	for _, c := range rep.Curves {
+		if len(c.Points) == 0 {
+			bad = append(bad, fmt.Sprintf("%s: no points measured", c.Family))
+		}
+		for _, p := range c.Points {
+			tag := fmt.Sprintf("%s clients=%d", c.Family, p.Clients)
+			if p.Failed != 0 {
+				bad = append(bad, fmt.Sprintf("%s: %d failed requests", tag, p.Failed))
+			}
+			if p.QPS <= 0 {
+				bad = append(bad, fmt.Sprintf("%s: nonpositive QPS %.3f", tag, p.QPS))
+			}
+			if p.P50Ms > p.P99Ms {
+				bad = append(bad, fmt.Sprintf("%s: p50 %.2fms exceeds p99 %.2fms", tag, p.P50Ms, p.P99Ms))
+			}
+		}
+	}
+	if wantReloads > 0 {
+		r := rep.Reload
+		if r == nil {
+			bad = append(bad, "reload exercise requested but not recorded")
+		} else {
+			if r.ReloadFailures != 0 {
+				bad = append(bad, fmt.Sprintf("reload: %d of %d reloads failed", r.ReloadFailures, r.Reloads))
+			}
+			if r.Failed != 0 {
+				bad = append(bad, fmt.Sprintf("reload: %d of %d requests failed during swaps", r.Failed, r.Requests))
+			}
+			if r.EpochRegressions != 0 {
+				bad = append(bad, fmt.Sprintf("reload: %d epoch regressions observed", r.EpochRegressions))
+			}
+			if r.LastEpoch < r.FirstEpoch+int64(r.Reloads-r.ReloadFailures) && r.Reloads > 0 {
+				// Epochs observed by queries should advance with the swaps
+				// (the last client can race the final swap by at most one).
+				if r.LastEpoch < r.FirstEpoch+1 && r.Reloads-r.ReloadFailures >= 2 {
+					bad = append(bad, fmt.Sprintf("reload: epochs stuck at %d despite %d swaps", r.LastEpoch, r.Reloads))
+				}
+			}
+		}
+	}
+	return bad
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "expandersvc base URL")
+	familiesFlag := flag.String("families", "matching,mis,clustering,walkroute", "comma-separated query families to sweep")
+	clientsFlag := flag.String("clients", "1,4,16", "comma-separated concurrent client counts")
+	requests := flag.Int("requests", 25, "requests per client per point")
+	seeds := flag.Int("seeds", 8, "seed pool size (mixes cache hits with fresh coalescable runs)")
+	eps := flag.Float64("eps", 0.25, "query approximation parameter")
+	reloads := flag.Int("reloads", 0, "hot /reload swaps to issue under sustained load (0 = skip)")
+	out := flag.String("out", "", "write (or with -merge, update) this BENCH json file")
+	merge := flag.Bool("merge", false, "read -out first and only replace its \"serve\" section")
+	check := flag.Bool("check", false, "gate the run: zero failures, sane latencies, clean reloads")
+	pr := flag.Int("pr", 8, "PR number stamped into a fresh (non-merge) report")
+	flag.Parse()
+
+	clients, err := parseInts(*clientsFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: -clients: %v\n", err)
+		os.Exit(2)
+	}
+
+	rep, err := benchmarks.MeasureServe(benchmarks.ServeOptions{
+		BaseURL:           strings.TrimRight(*addr, "/"),
+		Families:          parseFamilies(*familiesFlag),
+		Clients:           clients,
+		RequestsPerClient: *requests,
+		SeedPool:          *seeds,
+		Eps:               *eps,
+		Reloads:           *reloads,
+		Log:               os.Stderr,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *out != "" {
+		doc := map[string]any{"pr": *pr}
+		if *merge {
+			data, err := os.ReadFile(*out)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: -merge: %v\n", err)
+				os.Exit(1)
+			}
+			doc = map[string]any{}
+			if err := json.Unmarshal(data, &doc); err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: -merge: parse %s: %v\n", *out, err)
+				os.Exit(1)
+			}
+		}
+		doc["serve"] = rep
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: encode: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: write %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: wrote serve section to %s\n", *out)
+	}
+
+	if *check {
+		if bad := checkReport(rep, *reloads); len(bad) > 0 {
+			for _, b := range bad {
+				fmt.Fprintf(os.Stderr, "loadgen: CHECK FAILED: %s\n", b)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "loadgen: all checks passed")
+	}
+}

@@ -15,7 +15,8 @@
 // binary file so even very large networks open instantly.
 //
 // -trace streams one JSONL event per simulated round (round, phase stack,
-// active vertices, messages, words, bits); -report writes the phase tree
+// vertices stepped — halted and sleeping vertices are excluded — messages,
+// words, bits); -report writes the phase tree
 // with per-phase totals and message-size histograms as JSON; -phases prints
 // the same tree as a table on stdout.
 package main

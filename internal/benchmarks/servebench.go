@@ -1,0 +1,346 @@
+package benchmarks
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ServePoint is one closed-loop load measurement: a fixed number of
+// concurrent clients each issuing requests back-to-back against one query
+// family.
+type ServePoint struct {
+	Clients      int     `json:"clients"`
+	Requests     int     `json:"requests"`
+	Failed       int     `json:"failed"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	QPS          float64 `json:"qps"`
+	P50Ms        float64 `json:"p50_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// BatchMean and BatchMax summarize the batch_size reported by
+	// non-cached responses — the server-side coalescing occupancy this
+	// client load achieved.
+	BatchMean float64 `json:"batch_mean"`
+	BatchMax  int64   `json:"batch_max"`
+}
+
+// ServeCurve is one family's load curve across client counts.
+type ServeCurve struct {
+	Family string       `json:"family"`
+	Points []ServePoint `json:"points"`
+}
+
+// ReloadResult reports the hot-swap-under-load exercise: clients hammer
+// queries while /reload swaps snapshots. The serving contract is zero
+// failed requests and monotone epochs.
+type ReloadResult struct {
+	Reloads          int     `json:"reloads"`
+	ReloadFailures   int     `json:"reload_failures"`
+	Requests         int     `json:"requests"`
+	Failed           int     `json:"failed"`
+	EpochRegressions int     `json:"epoch_regressions"`
+	FirstEpoch       int64   `json:"first_epoch"`
+	LastEpoch        int64   `json:"last_epoch"`
+	WallSeconds      float64 `json:"wall_seconds"`
+}
+
+// ServeReport is the full serving-benchmark document recorded into
+// BENCH_8.json's "serve" section.
+type ServeReport struct {
+	Curves []ServeCurve  `json:"curves"`
+	Reload *ReloadResult `json:"reload,omitempty"`
+}
+
+// ServeOptions configures MeasureServe.
+type ServeOptions struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Families to sweep (default: matching, mis, clustering, walkroute).
+	Families []string
+	// Clients is the concurrency sweep (default {1, 4, 16}).
+	Clients []int
+	// RequestsPerClient is the closed-loop depth per client (default 25).
+	RequestsPerClient int
+	// SeedPool rotates request seeds through [1, SeedPool] so the sweep
+	// mixes cache hits with genuinely coalescable fresh runs (default 8).
+	SeedPool int
+	// Eps is the query approximation parameter (default 0.25).
+	Eps float64
+	// Reloads, when positive, adds the hot-swap exercise: that many
+	// POST /reload calls while Clients[last] clients keep querying.
+	Reloads int
+	// Log receives progress lines (nil = quiet).
+	Log io.Writer
+}
+
+func (o ServeOptions) withDefaults() ServeOptions {
+	if len(o.Families) == 0 {
+		o.Families = []string{"matching", "mis", "clustering", "walkroute"}
+	}
+	if len(o.Clients) == 0 {
+		o.Clients = []int{1, 4, 16}
+	}
+	if o.RequestsPerClient == 0 {
+		o.RequestsPerClient = 25
+	}
+	if o.SeedPool == 0 {
+		o.SeedPool = 8
+	}
+	if o.Eps == 0 {
+		o.Eps = 0.25
+	}
+	return o
+}
+
+// queryEnvelope is the subset of the server's response envelope the load
+// generator reads back.
+type queryEnvelope struct {
+	Epoch     int64 `json:"epoch"`
+	Cached    bool  `json:"cached"`
+	BatchSize int64 `json:"batch_size"`
+}
+
+type sample struct {
+	latency  time.Duration
+	envelope queryEnvelope
+	failed   bool
+}
+
+// doQuery issues one POST /query/<family> and parses the envelope.
+func doQuery(client *http.Client, baseURL, family string, eps float64, seed int64) sample {
+	body, _ := json.Marshal(map[string]any{"eps": eps, "seed": seed})
+	t0 := time.Now()
+	resp, err := client.Post(baseURL+"/query/"+family, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return sample{latency: time.Since(t0), failed: true}
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	lat := time.Since(t0)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return sample{latency: lat, failed: true}
+	}
+	var env queryEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return sample{latency: lat, failed: true}
+	}
+	return sample{latency: lat, envelope: env}
+}
+
+func percentile(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return float64(sorted[idx].Nanoseconds()) / 1e6
+}
+
+// runPoint drives one (family, clients) closed-loop point. seedBase gives
+// every point its own seed range so each point mixes fresh (coalescable)
+// canonical runs with cache hits instead of riding entirely on the cache
+// the previous point warmed.
+func runPoint(baseURL, family string, clients, perClient, seedPool int, seedBase int64, eps float64) ServePoint {
+	httpClient := &http.Client{Timeout: 5 * time.Minute}
+	all := make([][]sample, clients)
+	var wg sync.WaitGroup
+	var reqID atomic.Int64
+	t0 := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			samples := make([]sample, 0, perClient)
+			for i := 0; i < perClient; i++ {
+				seed := seedBase + 1 + reqID.Add(1)%int64(seedPool)
+				samples = append(samples, doQuery(httpClient, baseURL, family, eps, seed))
+			}
+			all[c] = samples
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(t0)
+
+	pt := ServePoint{Clients: clients, WallSeconds: wall.Seconds()}
+	var lats []time.Duration
+	var hits, fresh int
+	var batchSum int64
+	for _, samples := range all {
+		for _, s := range samples {
+			pt.Requests++
+			if s.failed {
+				pt.Failed++
+				continue
+			}
+			lats = append(lats, s.latency)
+			if s.envelope.Cached {
+				hits++
+			} else {
+				fresh++
+				batchSum += s.envelope.BatchSize
+				if s.envelope.BatchSize > pt.BatchMax {
+					pt.BatchMax = s.envelope.BatchSize
+				}
+			}
+		}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pt.P50Ms = percentile(lats, 0.50)
+	pt.P99Ms = percentile(lats, 0.99)
+	if wall > 0 {
+		pt.QPS = float64(pt.Requests-pt.Failed) / wall.Seconds()
+	}
+	if ok := pt.Requests - pt.Failed; ok > 0 {
+		pt.CacheHitRate = float64(hits) / float64(ok)
+	}
+	if fresh > 0 {
+		pt.BatchMean = float64(batchSum) / float64(fresh)
+	}
+	return pt
+}
+
+// measureReload drives the hot-swap exercise: `clients` clients querying a
+// rotating family/seed mix while the main goroutine issues `reloads`
+// sequential POST /reload swaps. The clients are time-based — they keep
+// querying until every swap has landed AND at least one post-swap response
+// has been observed — so the load is guaranteed to span the swaps. Epochs
+// observed by each client must never regress.
+func measureReload(baseURL string, clients, seedPool, reloads int, eps float64, logw io.Writer) *ReloadResult {
+	httpClient := &http.Client{Timeout: 5 * time.Minute}
+	res := &ReloadResult{Reloads: reloads}
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+	var failed, requests, regressions atomic.Int64
+	var firstEpoch, lastEpoch atomic.Int64
+	families := []string{"matching", "mis", "clustering", "walkroute"}
+	if seedPool > 2 {
+		seedPool = 2 // every swap invalidates the cache; keep the fresh-run bill bounded
+	}
+	t0 := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			lastSeen := int64(0)
+			for i := 0; !stop.Load(); i++ {
+				family := families[(c+i)%len(families)]
+				seed := int64(1 + (c+i)%seedPool)
+				s := doQuery(httpClient, baseURL, family, eps, seed)
+				requests.Add(1)
+				if s.failed {
+					failed.Add(1)
+					continue
+				}
+				if s.envelope.Epoch < lastSeen {
+					regressions.Add(1)
+				}
+				lastSeen = s.envelope.Epoch
+				firstEpoch.CompareAndSwap(0, s.envelope.Epoch)
+				for {
+					le := lastEpoch.Load()
+					if s.envelope.Epoch <= le || lastEpoch.CompareAndSwap(le, s.envelope.Epoch) {
+						break
+					}
+				}
+			}
+		}(c)
+	}
+	var wantEpoch int64
+	for r := 0; r < reloads; r++ {
+		time.Sleep(100 * time.Millisecond) // let query load establish between swaps
+		resp, err := httpClient.Post(baseURL+"/reload", "application/json", bytes.NewReader([]byte("{}")))
+		if err != nil {
+			res.ReloadFailures++
+			continue
+		}
+		var swapped struct {
+			Epoch int64 `json:"epoch"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&swapped)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			res.ReloadFailures++
+			continue
+		}
+		if err == nil && swapped.Epoch > wantEpoch {
+			wantEpoch = swapped.Epoch
+		}
+		if logw != nil {
+			fmt.Fprintf(logw, "reload %d/%d ok (epoch %d)\n", r+1, reloads, swapped.Epoch)
+		}
+	}
+	// Keep the load running until a query has actually been answered from
+	// the final snapshot (bounded: post-swap runs repopulate a cold cache).
+	deadline := time.Now().Add(3 * time.Minute)
+	for wantEpoch > 0 && lastEpoch.Load() < wantEpoch && time.Now().Before(deadline) {
+		time.Sleep(50 * time.Millisecond)
+	}
+	stop.Store(true)
+	wg.Wait()
+	res.WallSeconds = time.Since(t0).Seconds()
+	res.Requests = int(requests.Load())
+	res.Failed = int(failed.Load())
+	res.EpochRegressions = int(regressions.Load())
+	res.FirstEpoch = firstEpoch.Load()
+	res.LastEpoch = lastEpoch.Load()
+	return res
+}
+
+// MeasureServe drives the full closed-loop serving benchmark against a
+// running expandersvc instance and returns the QPS / latency / batch-
+// occupancy curves (plus the reload-under-load result when requested).
+func MeasureServe(opts ServeOptions) (*ServeReport, error) {
+	opts = opts.withDefaults()
+	if opts.BaseURL == "" {
+		return nil, fmt.Errorf("servebench: BaseURL is required")
+	}
+	// Fail fast if the server is not there.
+	probe := &http.Client{Timeout: 10 * time.Second}
+	resp, err := probe.Get(opts.BaseURL + "/healthz")
+	if err != nil {
+		return nil, fmt.Errorf("servebench: server not reachable: %w", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("servebench: /healthz returned %s", resp.Status)
+	}
+
+	rep := &ServeReport{}
+	pointIdx := int64(0)
+	for _, family := range opts.Families {
+		c := ServeCurve{Family: family}
+		for _, clients := range opts.Clients {
+			seedBase := pointIdx * int64(opts.SeedPool)
+			pointIdx++
+			pt := runPoint(opts.BaseURL, family, clients, opts.RequestsPerClient, opts.SeedPool, seedBase, opts.Eps)
+			c.Points = append(c.Points, pt)
+			if opts.Log != nil {
+				fmt.Fprintf(opts.Log,
+					"%-10s clients=%-3d %5d reqs (%d failed) %8.1f qps  p50 %7.2fms  p99 %7.2fms  hit %4.0f%%  batch mean %.2f max %d\n",
+					family, clients, pt.Requests, pt.Failed, pt.QPS, pt.P50Ms, pt.P99Ms,
+					pt.CacheHitRate*100, pt.BatchMean, pt.BatchMax)
+			}
+		}
+		rep.Curves = append(rep.Curves, c)
+	}
+	if opts.Reloads > 0 {
+		clients := opts.Clients[len(opts.Clients)-1]
+		rep.Reload = measureReload(opts.BaseURL, clients, opts.SeedPool,
+			opts.Reloads, opts.Eps, opts.Log)
+		if opts.Log != nil {
+			fmt.Fprintf(opts.Log,
+				"reload under load: %d reloads (%d failed), %d requests (%d failed), epochs %d -> %d, %d regressions\n",
+				rep.Reload.Reloads, rep.Reload.ReloadFailures, rep.Reload.Requests,
+				rep.Reload.Failed, rep.Reload.FirstEpoch, rep.Reload.LastEpoch, rep.Reload.EpochRegressions)
+		}
+	}
+	return rep, nil
+}

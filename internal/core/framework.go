@@ -74,6 +74,12 @@ type Options struct {
 	// weighted MaxIS of §3.1, for example). Length must be g.N() when set;
 	// each word must fit the CONGEST cap.
 	VertexPayload []int64
+	// Decomposition, when non-nil, is used as the clustering instead of
+	// running a decomposer — the §2.3 checks and everything downstream
+	// still execute as message passing against it. This is the resident-
+	// server path (internal/serve): one cached decomposition amortized
+	// across many queries. Length of Assignment must equal g.N().
+	Decomposition *expander.Decomposition
 }
 
 func (o Options) withDefaults() Options {
@@ -109,7 +115,18 @@ func RunWithPayload(g *graph.Graph, opts Options, solve PayloadSolver) (*Solutio
 	if opts.VertexPayload != nil && len(opts.VertexPayload) != g.N() {
 		return nil, fmt.Errorf("core: payload covers %d vertices, graph has %d", len(opts.VertexPayload), g.N())
 	}
-	return run(g, opts, nil, nil, solve)
+	if err := validateInjected(g, opts.Decomposition); err != nil {
+		return nil, err
+	}
+	return run(g, opts, opts.Decomposition, nil, solve)
+}
+
+// validateInjected checks a caller-provided clustering against the graph.
+func validateInjected(g *graph.Graph, dec *expander.Decomposition) error {
+	if dec != nil && len(dec.Assignment) != g.N() {
+		return fmt.Errorf("core: decomposition covers %d vertices, graph has %d", len(dec.Assignment), g.N())
+	}
+	return nil
 }
 
 // ClusterInfo describes one cluster of the partition as reconstructed at
@@ -169,20 +186,26 @@ func Run(g *graph.Graph, opts Options, solve LocalSolver) (*Solution, error) {
 	if opts.Eps <= 0 || opts.Eps >= 1 {
 		return nil, fmt.Errorf("core: eps must be in (0,1), got %v", opts.Eps)
 	}
-	return run(g, opts, nil, solve, nil)
+	if err := validateInjected(g, opts.Decomposition); err != nil {
+		return nil, err
+	}
+	return run(g, opts, opts.Decomposition, solve, nil)
 }
 
 // RunWithDecomposition executes the pipeline with a caller-provided
 // clustering instead of running the decomposer — the entry point for
 // failure-injection tests (feeding the §2.3 checks a bad clustering) and for
-// callers that reuse one decomposition across several solves.
+// callers that reuse one decomposition across several solves. Application
+// wrappers (internal/apps) reach the same path by setting
+// Options.Decomposition, which they forward verbatim from their own
+// Options.Core.
 func RunWithDecomposition(g *graph.Graph, dec *expander.Decomposition, opts Options, solve LocalSolver) (*Solution, error) {
 	opts = opts.withDefaults()
 	if dec == nil {
 		return nil, fmt.Errorf("core: nil decomposition")
 	}
-	if len(dec.Assignment) != g.N() {
-		return nil, fmt.Errorf("core: decomposition covers %d vertices, graph has %d", len(dec.Assignment), g.N())
+	if err := validateInjected(g, dec); err != nil {
+		return nil, err
 	}
 	if opts.Eps <= 0 || opts.Eps >= 1 {
 		opts.Eps = dec.Eps

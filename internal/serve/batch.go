@@ -1,0 +1,61 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// flight is one in-progress canonical run that concurrent requests with
+// the same key join instead of re-running.
+type flight struct {
+	done   chan struct{}
+	res    *Result
+	err    error
+	joined atomic.Int64 // batch occupancy: leader + followers
+}
+
+// batcher coalesces concurrent same-key requests into one run per key.
+// The first arrival becomes the flight leader; it optionally waits for the
+// batch window so closely-following requests can join, runs the canonical
+// computation once, and publishes the result to every member. Because the
+// run is keyed purely on (epoch, family, params), the batched result is
+// bit-identical to what each member would have computed alone.
+type batcher struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+	window  time.Duration
+}
+
+func newBatcher(window time.Duration) *batcher {
+	return &batcher{flights: make(map[string]*flight), window: window}
+}
+
+// do runs (or joins) the flight for key. It returns the shared result, the
+// final batch occupancy, and whether this caller led the flight. run must
+// make the result visible to late arrivals (i.e. populate the cache)
+// before do returns, because the flight is deregistered at that point.
+func (b *batcher) do(key string, run func() (*Result, error)) (res *Result, occupancy int64, led bool, err error) {
+	b.mu.Lock()
+	if f, ok := b.flights[key]; ok {
+		f.joined.Add(1)
+		b.mu.Unlock()
+		<-f.done
+		return f.res, f.joined.Load(), false, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	f.joined.Store(1)
+	b.flights[key] = f
+	b.mu.Unlock()
+
+	if b.window > 0 {
+		time.Sleep(b.window)
+	}
+	f.res, f.err = run()
+
+	b.mu.Lock()
+	delete(b.flights, key)
+	b.mu.Unlock()
+	close(f.done)
+	return f.res, f.joined.Load(), true, f.err
+}

@@ -1,0 +1,54 @@
+package serve
+
+import "sync"
+
+// resultCache stores canonical results keyed on (epoch, query key). Entries
+// are never invalidated individually: a snapshot swap calls swapEpoch and
+// every older epoch's entries die together, which is the whole invalidation
+// story — results are pure functions of (snapshot, params).
+type resultCache struct {
+	mu      sync.Mutex
+	byEpoch map[int64]map[string]*Result
+}
+
+func newResultCache() *resultCache {
+	return &resultCache{byEpoch: make(map[int64]map[string]*Result)}
+}
+
+func (c *resultCache) get(epoch int64, key string) *Result {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.byEpoch[epoch][key]
+}
+
+func (c *resultCache) put(epoch int64, key string, r *Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := c.byEpoch[epoch]
+	if m == nil {
+		m = make(map[string]*Result)
+		c.byEpoch[epoch] = m
+	}
+	m[key] = r
+}
+
+// swapEpoch drops every epoch except the one that just became current.
+// In-flight runs against an older snapshot may still put() afterwards;
+// their orphaned epoch map is recreated transiently and swept by the next
+// swap — harmless, since no new request ever reads an old epoch.
+func (c *resultCache) swapEpoch(current int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for e := range c.byEpoch {
+		if e != current {
+			delete(c.byEpoch, e)
+		}
+	}
+}
+
+// size returns the number of cached results for the given epoch.
+func (c *resultCache) size(epoch int64) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.byEpoch[epoch])
+}

@@ -1,0 +1,40 @@
+// Package serve implements the resident decomposition-as-a-service layer:
+// a long-lived HTTP server that loads a network once, computes its expander
+// decomposition once, and then amortizes that single cached decomposition
+// across arbitrarily many concurrent queries instead of re-decomposing per
+// request.
+//
+// # Snapshot lifecycle
+//
+// The unit of state is the immutable Snapshot: the graph (text, binary, or
+// zero-copy mmap via the internal/graph load paths), its expander
+// decomposition, the per-cluster leader table, and a monotonically
+// increasing epoch. The server holds the current snapshot behind an
+// atomic.Pointer; every request pins the snapshot it starts on with a
+// reference count and keeps using it to completion, so a concurrent
+// POST /reload — which builds the replacement snapshot entirely off to the
+// side and then swaps the pointer — never tears an in-flight request. A
+// retired snapshot is destroyed (and its mmap unmapped) only when the last
+// request holding it finishes.
+//
+// # Query families, batching, caching
+//
+// Four query families are served, all running as real CONGEST message
+// passing against the cached decomposition (core.Options.Decomposition):
+// approximate matching, approximate maximum independent set, low-diameter
+// clustering, and random-walk routing. Each family has one canonical run
+// per (epoch, parameters) key. Concurrent requests for the same key
+// coalesce into a single simulator run (a "flight"; an optional batch
+// window holds the first arrival briefly so followers can join), and the
+// finished result is cached keyed on (epoch, family, parameters) — cache
+// entries die with their epoch at swap time, never by timeout. Because the
+// batched run is the canonical run, a coalesced result is bit-identical to
+// what each request would have computed sequentially; requests that only
+// differ in their projection (the vertices/sources filter) share one run.
+//
+// Every result carries structured accounting from the congest.Observer
+// span machinery: rounds, messages, words, and bits per phase of the run
+// that produced it.
+//
+// See DESIGN.md §3.14 for the architecture and API.md for the wire format.
+package serve

@@ -1,0 +1,399 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Spec builds the initial snapshot.
+	Spec Spec
+	// SimWorkers is the congest executor worker count for query runs
+	// (0 = sequential; results are bit-identical for any value).
+	SimWorkers int
+	// BatchWindow is how long a flight leader waits for followers before
+	// running (0 = run immediately; coalescing then only catches requests
+	// arriving during the run itself).
+	BatchWindow time.Duration
+	// Log receives operational messages (nil = discard).
+	Log *log.Logger
+}
+
+// famStats is the per-family counter block surfaced by /statz.
+type famStats struct {
+	requests  atomic.Int64
+	errors    atomic.Int64
+	cacheHits atomic.Int64
+	flights   atomic.Int64
+	coalesced atomic.Int64
+	batchSum  atomic.Int64
+	batchMax  atomic.Int64
+}
+
+func (f *famStats) recordFlight(occupancy int64) {
+	f.flights.Add(1)
+	f.batchSum.Add(occupancy)
+	for {
+		m := f.batchMax.Load()
+		if occupancy <= m || f.batchMax.CompareAndSwap(m, occupancy) {
+			return
+		}
+	}
+}
+
+// Server is the resident query server: one atomically-swappable snapshot,
+// a per-key coalescing batcher, an epoch-keyed result cache, and the HTTP
+// handlers that tie them together.
+type Server struct {
+	cfg   Config
+	cur   atomic.Pointer[Snapshot]
+	epoch atomic.Int64 // last assigned epoch
+
+	cache *resultCache
+	batch *batcher
+
+	reloadMu     sync.Mutex // serializes snapshot builds, not queries
+	reloads      atomic.Int64
+	reloadErrors atomic.Int64
+
+	fam   map[string]*famStats
+	start time.Time
+	mux   *http.ServeMux
+}
+
+// New builds the initial snapshot from cfg.Spec and returns a ready server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Log == nil {
+		cfg.Log = log.New(io.Discard, "", 0)
+	}
+	s := &Server{
+		cfg:   cfg,
+		cache: newResultCache(),
+		batch: newBatcher(cfg.BatchWindow),
+		fam:   make(map[string]*famStats),
+		start: time.Now(),
+	}
+	for _, f := range Families() {
+		s.fam[f] = &famStats{}
+	}
+	snap, err := BuildSnapshot(cfg.Spec, 1)
+	if err != nil {
+		return nil, err
+	}
+	s.epoch.Store(1)
+	s.cur.Store(snap)
+	cfg.Log.Printf("serve: snapshot epoch 1: n=%d m=%d clusters=%d phi=%.4g (load %v, decompose %v)",
+		snap.G.N(), snap.G.M(), len(snap.Dec.Clusters), snap.Dec.Phi, snap.LoadDuration, snap.BuildDuration)
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/statz", s.handleStatz)
+	s.mux.HandleFunc("/reload", s.handleReload)
+	s.mux.HandleFunc("/query/", s.handleQuery)
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Epoch returns the current snapshot epoch.
+func (s *Server) Epoch() int64 { return s.epoch.Load() }
+
+// Close retires the current snapshot. Call after the HTTP listener has
+// drained (http.Server.Shutdown): the snapshot (and its mmap) is freed
+// once the last in-flight request releases it.
+func (s *Server) Close() {
+	if snap := s.cur.Swap(nil); snap != nil {
+		snap.retire()
+	}
+}
+
+// snapshot pins the current snapshot for one request. The retry loop only
+// spins when a reload retires a fully drained snapshot between the load
+// and the acquire — the next load observes the replacement.
+func (s *Server) snapshot() (*Snapshot, error) {
+	for {
+		snap := s.cur.Load()
+		if snap == nil {
+			return nil, fmt.Errorf("server is shut down")
+		}
+		if snap.acquire() {
+			return snap, nil
+		}
+	}
+}
+
+// Reload builds a snapshot from spec (zero-value fields inherit the
+// current spec), swaps it in, and retires the predecessor. Queries keep
+// running against whichever snapshot they pinned; none are dropped.
+func (s *Server) Reload(spec Spec) (*Snapshot, error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	cur := s.cur.Load()
+	if cur == nil {
+		return nil, fmt.Errorf("server is shut down")
+	}
+	merged := cur.Spec
+	if spec.Path != "" {
+		merged.Path = spec.Path
+		merged.Mmap = spec.Mmap
+	}
+	if spec.Eps != 0 {
+		merged.Eps = spec.Eps
+	}
+	if spec.Seed != 0 {
+		merged.Seed = spec.Seed
+	}
+	if spec.DecWorkers != 0 {
+		merged.DecWorkers = spec.DecWorkers
+	}
+	epoch := s.epoch.Load() + 1
+	snap, err := BuildSnapshot(merged, epoch) // built entirely off to the side
+	if err != nil {
+		s.reloadErrors.Add(1)
+		return nil, err
+	}
+	s.epoch.Store(epoch)
+	old := s.cur.Swap(snap)
+	s.cache.swapEpoch(epoch)
+	if old != nil {
+		old.retire()
+	}
+	s.reloads.Add(1)
+	s.cfg.Log.Printf("serve: swapped to epoch %d: n=%d m=%d clusters=%d (load %v, decompose %v)",
+		epoch, snap.G.N(), snap.G.M(), len(snap.Dec.Clusters), snap.LoadDuration, snap.BuildDuration)
+	return snap, nil
+}
+
+// QueryResponse is the envelope of a POST /query/<family> answer. Result
+// is the canonical shared outcome (identical for every member of a batch
+// and for a cache hit); the envelope fields describe how this particular
+// request was served. When a projection is requested, the bulky per-vertex
+// arrays are omitted from Result and Selection carries the answers.
+type QueryResponse struct {
+	Family    string         `json:"family"`
+	Epoch     int64          `json:"epoch"`
+	Cached    bool           `json:"cached"`
+	BatchSize int64          `json:"batch_size"`
+	TookMs    float64        `json:"took_ms"`
+	Selection []VertexAnswer `json:"selection,omitempty"`
+	Result    *Result        `json:"result"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"encoding failure"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(data, '\n'))
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "epoch": s.epoch.Load()})
+}
+
+// statzFamily is the JSON shape of one family's counters.
+type statzFamily struct {
+	Requests  int64   `json:"requests"`
+	Errors    int64   `json:"errors"`
+	CacheHits int64   `json:"cache_hits"`
+	Flights   int64   `json:"flights"`
+	Coalesced int64   `json:"coalesced"`
+	BatchMean float64 `json:"batch_mean"`
+	BatchMax  int64   `json:"batch_max"`
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	snap, err := s.snapshot()
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	defer snap.release()
+	families := make(map[string]statzFamily, len(s.fam))
+	for name, f := range s.fam {
+		sf := statzFamily{
+			Requests:  f.requests.Load(),
+			Errors:    f.errors.Load(),
+			CacheHits: f.cacheHits.Load(),
+			Flights:   f.flights.Load(),
+			Coalesced: f.coalesced.Load(),
+			BatchMax:  f.batchMax.Load(),
+		}
+		if sf.Flights > 0 {
+			sf.BatchMean = float64(f.batchSum.Load()) / float64(sf.Flights)
+		}
+		families[name] = sf
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"epoch":          snap.Epoch,
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"graph": map[string]any{
+			"path": snap.Spec.Path, "mmap": snap.Spec.Mmap, "zero_copy": snap.ZeroCopy,
+			"n": snap.G.N(), "m": snap.G.M(),
+		},
+		"decomposition": map[string]any{
+			"eps": snap.Spec.Eps, "phi": snap.Dec.Phi, "seed": snap.Spec.Seed,
+			"clusters": len(snap.Dec.Clusters), "cut_edges": len(snap.Dec.Removed),
+			"load_ms":     float64(snap.LoadDuration.Nanoseconds()) / 1e6,
+			"build_ms":    float64(snap.BuildDuration.Nanoseconds()) / 1e6,
+			"walk_budget": snap.WalkBudget,
+		},
+		"reloads":       s.reloads.Load(),
+		"reload_errors": s.reloadErrors.Load(),
+		"cache_entries": s.cache.size(snap.Epoch),
+		"families":      families,
+	})
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var spec Spec
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	if len(body) > 0 {
+		if err := json.Unmarshal(body, &spec); err != nil {
+			writeError(w, http.StatusBadRequest, "bad reload spec: %v", err)
+			return
+		}
+	}
+	snap, err := s.Reload(spec)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "reload failed: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"epoch": snap.Epoch, "n": snap.G.N(), "m": snap.G.M(),
+		"clusters": len(snap.Dec.Clusters),
+		"load_ms":  float64(snap.LoadDuration.Nanoseconds()) / 1e6,
+		"build_ms": float64(snap.BuildDuration.Nanoseconds()) / 1e6,
+	})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	family := strings.TrimPrefix(r.URL.Path, "/query/")
+	fs, ok := s.fam[family]
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown query family %q (have %s)",
+			family, strings.Join(Families(), ", "))
+		return
+	}
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var p Params
+	body, err := io.ReadAll(io.LimitReader(r.Body, 8<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	if len(body) > 0 {
+		dec := json.NewDecoder(bytes.NewReader(body))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&p); err != nil {
+			writeError(w, http.StatusBadRequest, "bad query params: %v", err)
+			return
+		}
+	}
+
+	snap, err := s.snapshot()
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	defer snap.release()
+
+	p = p.withDefaults(family)
+	if err := p.validate(family, snap.G.N()); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	fs.requests.Add(1)
+
+	t0 := time.Now()
+	key := p.key(family)
+	var (
+		res       *Result
+		cached    bool
+		occupancy = int64(1)
+	)
+	if c := s.cache.get(snap.Epoch, key); c != nil {
+		res, cached = c, true
+		fs.cacheHits.Add(1)
+	} else {
+		var led bool
+		// The flight key carries the epoch so that requests pinned to
+		// different snapshots can never share a run.
+		res, occupancy, led, err = s.batch.do(fmt.Sprintf("e%d|%s", snap.Epoch, key), func() (*Result, error) {
+			r, rerr := runQuery(snap, family, p, s.cfg.SimWorkers)
+			if rerr == nil {
+				// Publish before the flight deregisters so late arrivals
+				// hit the cache instead of re-running.
+				s.cache.put(snap.Epoch, key, r)
+			}
+			return r, rerr
+		})
+		if err != nil {
+			fs.errors.Add(1)
+			writeError(w, http.StatusInternalServerError, "query failed: %v", err)
+			return
+		}
+		if led {
+			fs.recordFlight(occupancy)
+		} else {
+			fs.coalesced.Add(1)
+		}
+	}
+
+	resp := &QueryResponse{
+		Family:    family,
+		Epoch:     snap.Epoch,
+		Cached:    cached,
+		BatchSize: occupancy,
+		TookMs:    float64(time.Since(t0).Nanoseconds()) / 1e6,
+		Result:    res,
+	}
+	if sel := p.selection(); len(sel) > 0 {
+		resp.Selection = res.project(sel)
+		trimmed := *res // shallow copy; the canonical result stays cached intact
+		trimmed.Mate, trimmed.Set, trimmed.Labels, trimmed.DeliveredTo = nil, nil, nil, nil
+		trimmed.PerCluster = nil
+		resp.Result = &trimmed
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,193 @@
+package serve
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"expandergap/internal/expander"
+	"expandergap/internal/graph"
+	"expandergap/internal/routing"
+)
+
+// Spec describes how to build a snapshot: where the graph comes from and
+// which decomposition to compute over it.
+type Spec struct {
+	// Path is the graph file (text edge list or binary CSR; sniffed by
+	// magic).
+	Path string `json:"path"`
+	// Mmap memory-maps a binary CSR file instead of reading it onto the
+	// heap. The file must outlive the mapping: it stays open/mapped until
+	// the snapshot is retired AND the last request using it finishes.
+	Mmap bool `json:"mmap"`
+	// Eps is the decomposition edge-removal budget ε.
+	Eps float64 `json:"eps"`
+	// Seed drives the decomposer.
+	Seed int64 `json:"seed"`
+	// DecWorkers sizes the parallel decomposition recursion (<=1 runs the
+	// sequential ground truth; output is identical either way).
+	DecWorkers int `json:"dec_workers"`
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Eps <= 0 || s.Eps >= 1 {
+		s.Eps = 0.3
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return s
+}
+
+// Snapshot is one immutable serving state: a graph, its expander
+// decomposition, the derived leader/routing tables, and the epoch that
+// identifies it. Snapshots are shared by reference between the server and
+// all in-flight requests; nothing in a snapshot is ever mutated after
+// build.
+type Snapshot struct {
+	// Epoch is the monotone identity of this snapshot. Every query
+	// response and cache key carries it.
+	Epoch int64
+	// Spec is the build recipe (POST /reload with no body rebuilds it).
+	Spec Spec
+	// G is the served network.
+	G *graph.Graph
+	// Dec is the cached expander decomposition every query amortizes.
+	Dec *expander.Decomposition
+	// Leader maps each vertex to its cluster's leader: the member with
+	// maximum intra-cluster degree, lowest ID on ties (the §2.3
+	// convention).
+	Leader []int
+	// WalkBudget is the default forward budget for walk-routing queries:
+	// the theoretical WalkBudget(φ, n) capped at 8n+256 (real clusters
+	// beat the worst-case conductance target by far).
+	WalkBudget int
+	// ZeroCopy reports whether G aliases a live mmap (true only on the
+	// mmap path on supporting hosts).
+	ZeroCopy bool
+	// LoadDuration and BuildDuration split the snapshot build cost into
+	// graph loading and decomposition.
+	LoadDuration  time.Duration
+	BuildDuration time.Duration
+
+	mapped *graph.Mapped
+	// refs counts the server's own reference (1 from birth) plus one per
+	// in-flight request. It only reaches zero after retire(), at which
+	// point the mmap (if any) is released; acquire never revives a
+	// drained snapshot.
+	refs atomic.Int64
+}
+
+// BuildSnapshot loads the graph named by spec and decomposes it. The whole
+// build happens off to the side: nothing is shared with any live snapshot,
+// which is what makes the /reload swap safe.
+func BuildSnapshot(spec Spec, epoch int64) (*Snapshot, error) {
+	spec = spec.withDefaults()
+	if spec.Path == "" {
+		return nil, fmt.Errorf("serve: snapshot spec has no graph path")
+	}
+	t0 := time.Now()
+	var (
+		g      *graph.Graph
+		mapped *graph.Mapped
+		err    error
+	)
+	if spec.Mmap {
+		mapped, err = graph.OpenMapped(spec.Path)
+		if err != nil {
+			return nil, fmt.Errorf("serve: mmap %s: %w", spec.Path, err)
+		}
+		g = mapped.Graph
+	} else {
+		g, err = graph.LoadFile(spec.Path)
+		if err != nil {
+			return nil, fmt.Errorf("serve: load %s: %w", spec.Path, err)
+		}
+	}
+	loadDur := time.Since(t0)
+
+	t1 := time.Now()
+	dec, err := expander.Decompose(g, spec.Eps, expander.Options{Seed: spec.Seed, Workers: spec.DecWorkers})
+	if err != nil {
+		if mapped != nil {
+			mapped.Close()
+		}
+		return nil, fmt.Errorf("serve: decompose %s: %w", spec.Path, err)
+	}
+	s := &Snapshot{
+		Epoch:         epoch,
+		Spec:          spec,
+		G:             g,
+		Dec:           dec,
+		Leader:        computeLeaders(g, dec),
+		WalkBudget:    defaultWalkBudget(dec.Phi, g.N()),
+		ZeroCopy:      mapped != nil && graph.MapIsZeroCopy(),
+		LoadDuration:  loadDur,
+		BuildDuration: time.Since(t1),
+		mapped:        mapped,
+	}
+	s.refs.Store(1)
+	return s, nil
+}
+
+// acquire pins the snapshot for one request. It fails only on a snapshot
+// that has already fully drained (retired with no requests left), in which
+// case the caller must re-read the current pointer.
+func (s *Snapshot) acquire() bool {
+	for {
+		r := s.refs.Load()
+		if r <= 0 {
+			return false
+		}
+		if s.refs.CompareAndSwap(r, r+1) {
+			return true
+		}
+	}
+}
+
+// release drops one pin. The last release after retire() frees the mmap.
+func (s *Snapshot) release() {
+	if s.refs.Add(-1) == 0 && s.mapped != nil {
+		s.mapped.Close()
+	}
+}
+
+// retire drops the server's own reference after a swap (or at shutdown).
+// In-flight requests keep the snapshot alive until they finish.
+func (s *Snapshot) retire() { s.release() }
+
+// computeLeaders elects, sequentially at build time, the max-intra-cluster-
+// degree member (lowest ID on ties) of every cluster — the same (degree,
+// ID) order §2.3's message-passing election uses.
+func computeLeaders(g *graph.Graph, dec *expander.Decomposition) []int {
+	n := g.N()
+	inDeg := make([]int, n)
+	for i := 0; i < g.M(); i++ {
+		e := g.EdgeAt(i)
+		if dec.Assignment[e.U] == dec.Assignment[e.V] {
+			inDeg[e.U]++
+			inDeg[e.V]++
+		}
+	}
+	leader := make([]int, n)
+	for _, members := range dec.Clusters {
+		best := members[0] // members ascending, so ties keep the lowest ID
+		for _, v := range members[1:] {
+			if inDeg[v] > inDeg[best] {
+				best = v
+			}
+		}
+		for _, v := range members {
+			leader[v] = best
+		}
+	}
+	return leader
+}
+
+func defaultWalkBudget(phi float64, n int) int {
+	b := routing.WalkBudget(phi, n)
+	if hi := 8*n + 256; b > hi {
+		b = hi
+	}
+	return b
+}
