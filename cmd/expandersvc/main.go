@@ -2,24 +2,29 @@
 // it loads a graph once (text edge list, binary CSR, or zero-copy mmap),
 // computes its expander decomposition once, and serves approximate-matching
 // / MIS / clustering / walk-routing queries over HTTP against that cached
-// snapshot, with request coalescing, per-(epoch, params) result caching,
-// hot snapshot swap via POST /reload, and graceful shutdown.
+// snapshot, with an admission-controlled run pool, request coalescing,
+// per-(epoch, params) encoded-response caching under a byte-capped LRU,
+// hot snapshot swap via POST /reload, and graceful shutdown. When the
+// admission queue is full, new canonical work is rejected with
+// 429 + Retry-After; cache hits and coalesced followers are never rejected.
 //
 // Usage:
 //
 //	expandersvc -graph er.bin [-mmap] [-addr :8080] [-eps 0.3] [-seed 1]
 //	            [-decworkers 4] [-simworkers 0] [-batchwindow 2ms]
-//	            [-shutdowntimeout 10s]
+//	            [-runpool 0] [-queuedepth 0] [-cachebytes 268435456]
+//	            [-pprof] [-shutdowntimeout 10s]
 //
 // Endpoints (full schemas in API.md):
 //
 //	GET  /healthz          liveness + current epoch
-//	GET  /statz            snapshot, cache, batching and per-family counters
+//	GET  /statz            snapshot, cache, pool, batching and per-family counters
 //	POST /reload           build a new snapshot off to the side and swap it in
 //	POST /query/matching   approximate maximum weight matching
 //	POST /query/mis        approximate maximum independent set
 //	POST /query/clustering low-diameter clustering
 //	POST /query/walkroute  Lemma 2.4 random-walk routing to cluster leaders
+//	GET  /debug/pprof/*    runtime profiles (only with -pprof)
 package main
 
 import (
@@ -29,6 +34,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -46,6 +52,10 @@ func main() {
 	decWorkers := flag.Int("decworkers", 1, "parallel decomposer workers (>1 enables the parallel recursion)")
 	simWorkers := flag.Int("simworkers", 0, "simulator executor workers per query (0 = sequential)")
 	batchWindow := flag.Duration("batchwindow", 2*time.Millisecond, "how long a flight leader waits for coalescing followers")
+	runPool := flag.Int("runpool", 0, "canonical-run pool workers (0 = min(GOMAXPROCS, NumCPU))")
+	queueDepth := flag.Int("queuedepth", 0, "admission queue depth before 429s (0 = 4x pool workers)")
+	cacheBytes := flag.Int64("cachebytes", 0, "result cache capacity in bytes before LRU eviction (0 = 256 MiB)")
+	pprofFlag := flag.Bool("pprof", false, "expose /debug/pprof/* runtime profiling endpoints")
 	shutdownTimeout := flag.Duration("shutdowntimeout", 10*time.Second, "graceful drain budget on SIGINT/SIGTERM")
 	flag.Parse()
 	if *graphFlag == "" {
@@ -62,15 +72,31 @@ func main() {
 		},
 		SimWorkers:  *simWorkers,
 		BatchWindow: *batchWindow,
+		RunPool:     *runPool,
+		QueueDepth:  *queueDepth,
+		CacheBytes:  *cacheBytes,
 		Log:         logger,
 	})
 	if err != nil {
 		logger.Fatalf("startup: %v", err)
 	}
 
+	handler := srv.Handler()
+	if *pprofFlag {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		logger.Printf("pprof endpoints enabled at /debug/pprof/")
+	}
+
 	httpSrv := &http.Server{
 		Addr:              *addrFlag,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	done := make(chan error, 1)

@@ -1,21 +1,31 @@
 // Command loadgen is the closed-loop load generator for expandersvc: N
 // concurrent clients per point issue back-to-back queries against each
-// family, recording QPS, p50/p99 latency, cache hit rate and coalescing
-// batch occupancy, plus an optional hot-reload-under-load exercise. The
-// measurements land in the "serve" section of a BENCH_<pr>.json report
+// family, recording QPS, p50/p99 latency, cache-hit latency, rejection
+// rate, server-side queue wait and coalescing batch occupancy, plus an
+// optional hot-reload-under-load exercise and a deliberate-overload probe.
+// All load goroutines share one keep-alive http.Transport sized to the
+// largest client count, so the sweep measures the server, not the dialer.
+// The measurements land in the "serve" section of a BENCH_<pr>.json report
 // (merged into an existing report with -merge, so the benchjson sections
 // survive untouched).
 //
 // Usage:
 //
 //	loadgen -addr http://127.0.0.1:8080 [-families matching,mis]
-//	        [-clients 1,4,16] [-requests 25] [-seeds 8] [-eps 0.25]
-//	        [-reloads 3] [-out BENCH_8.json] [-merge] [-check] [-pr 8]
+//	        [-clients 1,16,128,1024] [-requests 25] [-seeds 8] [-eps 0.25]
+//	        [-reloads 3] [-overload 64] [-overloadfor 10s]
+//	        [-out BENCH_9.json] [-merge] [-check] [-pr 9]
+//	        [-cachep99x 25] [-cachep99floor 250ms] [-overloadp99 5s]
 //
 // With -check, loadgen gates the run it just measured: every point must
-// complete with zero failed requests, positive QPS and p50 <= p99, and the
-// reload exercise (if run) must finish with zero reload failures, zero
-// failed requests and zero epoch regressions. Exit status 1 on violation.
+// complete with zero non-429 failures, positive QPS and p50 <= p99; the
+// cache-hit p99 at the largest client count must stay within -cachep99x
+// times the reference (16-client) point, modulo the -cachep99floor
+// absolute floor; the reload exercise (if run) must finish with zero
+// reload failures, zero failed requests and zero epoch regressions; and
+// the overload probe (if run) must show actual rejections, all with valid
+// Retry-After, zero non-429 failures, and cached-path p99 under
+// -overloadp99. Exit status 1 on violation.
 package main
 
 import (
@@ -25,6 +35,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"expandergap/internal/benchmarks"
 )
@@ -55,17 +66,44 @@ func parseFamilies(csv string) []string {
 	return out
 }
 
+// checkOpts carries the -check thresholds.
+type checkOpts struct {
+	reloads       int
+	overload      int
+	cacheP99X     float64
+	cacheP99Floor time.Duration
+	overloadP99   time.Duration
+}
+
+// refPoint picks the scaling reference for the cache-hit p99 gate: the
+// 16-client point if present, else the first multi-client point, else the
+// first point.
+func refPoint(points []benchmarks.ServePoint) benchmarks.ServePoint {
+	for _, p := range points {
+		if p.Clients == 16 {
+			return p
+		}
+	}
+	for _, p := range points {
+		if p.Clients > 1 {
+			return p
+		}
+	}
+	return points[0]
+}
+
 // checkReport applies the within-run gates. Returns the violations found.
-func checkReport(rep *benchmarks.ServeReport, wantReloads int) []string {
+func checkReport(rep *benchmarks.ServeReport, opts checkOpts) []string {
 	var bad []string
 	for _, c := range rep.Curves {
 		if len(c.Points) == 0 {
 			bad = append(bad, fmt.Sprintf("%s: no points measured", c.Family))
+			continue
 		}
 		for _, p := range c.Points {
 			tag := fmt.Sprintf("%s clients=%d", c.Family, p.Clients)
 			if p.Failed != 0 {
-				bad = append(bad, fmt.Sprintf("%s: %d failed requests", tag, p.Failed))
+				bad = append(bad, fmt.Sprintf("%s: %d non-429 failures", tag, p.Failed))
 			}
 			if p.QPS <= 0 {
 				bad = append(bad, fmt.Sprintf("%s: nonpositive QPS %.3f", tag, p.QPS))
@@ -74,8 +112,24 @@ func checkReport(rep *benchmarks.ServeReport, wantReloads int) []string {
 				bad = append(bad, fmt.Sprintf("%s: p50 %.2fms exceeds p99 %.2fms", tag, p.P50Ms, p.P99Ms))
 			}
 		}
+		// Cache-hit latency must not collapse with client count: the p99
+		// over cache hits at the largest point stays within cacheP99X of
+		// the reference point (absolute floor absorbs sub-ms noise).
+		last := c.Points[len(c.Points)-1]
+		ref := refPoint(c.Points)
+		if last.Clients > ref.Clients && last.CacheHitP99Ms > 0 && ref.CacheHitP99Ms > 0 {
+			limit := ref.CacheHitP99Ms * opts.cacheP99X
+			if floor := float64(opts.cacheP99Floor.Milliseconds()); limit < floor {
+				limit = floor
+			}
+			if last.CacheHitP99Ms > limit {
+				bad = append(bad, fmt.Sprintf(
+					"%s: cache-hit p99 %.2fms at %d clients exceeds %.2fms (%.0fx the %d-client point)",
+					c.Family, last.CacheHitP99Ms, last.Clients, limit, opts.cacheP99X, ref.Clients))
+			}
+		}
 	}
-	if wantReloads > 0 {
+	if opts.reloads > 0 {
 		r := rep.Reload
 		if r == nil {
 			bad = append(bad, "reload exercise requested but not recorded")
@@ -98,21 +152,47 @@ func checkReport(rep *benchmarks.ServeReport, wantReloads int) []string {
 			}
 		}
 	}
+	if opts.overload > 0 {
+		o := rep.Overload
+		if o == nil {
+			bad = append(bad, "overload probe requested but not recorded")
+		} else {
+			if o.Failed != 0 {
+				bad = append(bad, fmt.Sprintf("overload: %d non-429 failures", o.Failed))
+			}
+			if o.Rejected == 0 {
+				bad = append(bad, "overload: saturation produced zero rejections — probe did not overload the pool")
+			} else if !o.RetryAfterValid {
+				bad = append(bad, "overload: some 429s carried missing or inconsistent Retry-After")
+			}
+			if o.CacheHits == 0 {
+				bad = append(bad, "overload: cached traffic recorded zero hits")
+			}
+			if capMs := float64(opts.overloadP99.Milliseconds()); o.CachedP99Ms > capMs {
+				bad = append(bad, fmt.Sprintf("overload: cached-path p99 %.2fms exceeds %.0fms cap", o.CachedP99Ms, capMs))
+			}
+		}
+	}
 	return bad
 }
 
 func main() {
 	addr := flag.String("addr", "http://127.0.0.1:8080", "expandersvc base URL")
 	familiesFlag := flag.String("families", "matching,mis,clustering,walkroute", "comma-separated query families to sweep")
-	clientsFlag := flag.String("clients", "1,4,16", "comma-separated concurrent client counts")
+	clientsFlag := flag.String("clients", "1,16,128,1024", "comma-separated concurrent client counts")
 	requests := flag.Int("requests", 25, "requests per client per point")
 	seeds := flag.Int("seeds", 8, "seed pool size (mixes cache hits with fresh coalescable runs)")
 	eps := flag.Float64("eps", 0.25, "query approximation parameter")
 	reloads := flag.Int("reloads", 0, "hot /reload swaps to issue under sustained load (0 = skip)")
+	overload := flag.Int("overload", 0, "clients for the deliberate-overload probe (0 = skip)")
+	overloadFor := flag.Duration("overloadfor", 10*time.Second, "duration of the overload probe")
 	out := flag.String("out", "", "write (or with -merge, update) this BENCH json file")
 	merge := flag.Bool("merge", false, "read -out first and only replace its \"serve\" section")
-	check := flag.Bool("check", false, "gate the run: zero failures, sane latencies, clean reloads")
-	pr := flag.Int("pr", 8, "PR number stamped into a fresh (non-merge) report")
+	check := flag.Bool("check", false, "gate the run: zero non-429 failures, flat cache-hit latency, clean reloads and overload")
+	pr := flag.Int("pr", 9, "PR number stamped into a fresh (non-merge) report")
+	cacheP99X := flag.Float64("cachep99x", 25, "-check: max cache-hit p99 growth factor from the 16-client point to the largest")
+	cacheP99Floor := flag.Duration("cachep99floor", 250*time.Millisecond, "-check: absolute cache-hit p99 floor below which the growth gate never fires")
+	overloadP99 := flag.Duration("overloadp99", 5*time.Second, "-check: cached-path p99 cap during the overload probe")
 	flag.Parse()
 
 	clients, err := parseInts(*clientsFlag)
@@ -129,6 +209,8 @@ func main() {
 		SeedPool:          *seeds,
 		Eps:               *eps,
 		Reloads:           *reloads,
+		OverloadClients:   *overload,
+		OverloadDuration:  *overloadFor,
 		Log:               os.Stderr,
 	})
 	if err != nil {
@@ -164,7 +246,14 @@ func main() {
 	}
 
 	if *check {
-		if bad := checkReport(rep, *reloads); len(bad) > 0 {
+		bad := checkReport(rep, checkOpts{
+			reloads:       *reloads,
+			overload:      *overload,
+			cacheP99X:     *cacheP99X,
+			cacheP99Floor: *cacheP99Floor,
+			overloadP99:   *overloadP99,
+		})
+		if len(bad) > 0 {
 			for _, b := range bad {
 				fmt.Fprintf(os.Stderr, "loadgen: CHECK FAILED: %s\n", b)
 			}

@@ -5,8 +5,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -14,16 +16,27 @@ import (
 
 // ServePoint is one closed-loop load measurement: a fixed number of
 // concurrent clients each issuing requests back-to-back against one query
-// family.
+// family. Failed counts only non-429 failures; clean backpressure
+// rejections land in Rejected.
 type ServePoint struct {
 	Clients      int     `json:"clients"`
 	Requests     int     `json:"requests"`
 	Failed       int     `json:"failed"`
+	Rejected     int     `json:"rejected"`
 	WallSeconds  float64 `json:"wall_seconds"`
 	QPS          float64 `json:"qps"`
 	P50Ms        float64 `json:"p50_ms"`
 	P99Ms        float64 `json:"p99_ms"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
+	// CacheHitP50Ms / CacheHitP99Ms are latency percentiles over the
+	// cache-hit responses alone — the encoded-response fast path. These
+	// are the curves that must stay flat as client count scales.
+	CacheHitP50Ms float64 `json:"cache_hit_p50_ms"`
+	CacheHitP99Ms float64 `json:"cache_hit_p99_ms"`
+	RejectionRate float64 `json:"rejection_rate"`
+	// QueueWaitMeanMs is the server-side mean admission-queue wait for
+	// runs completed during this point (from /statz pool deltas).
+	QueueWaitMeanMs float64 `json:"queue_wait_mean_ms"`
 	// BatchMean and BatchMax summarize the batch_size reported by
 	// non-cached responses — the server-side coalescing occupancy this
 	// client load achieved.
@@ -39,23 +52,46 @@ type ServeCurve struct {
 
 // ReloadResult reports the hot-swap-under-load exercise: clients hammer
 // queries while /reload swaps snapshots. The serving contract is zero
-// failed requests and monotone epochs.
+// failed (non-429) requests and monotone epochs; post-swap cold bursts may
+// see clean 429s on shallow queues, reported separately.
 type ReloadResult struct {
 	Reloads          int     `json:"reloads"`
 	ReloadFailures   int     `json:"reload_failures"`
 	Requests         int     `json:"requests"`
 	Failed           int     `json:"failed"`
+	Rejected         int     `json:"rejected"`
 	EpochRegressions int     `json:"epoch_regressions"`
 	FirstEpoch       int64   `json:"first_epoch"`
 	LastEpoch        int64   `json:"last_epoch"`
 	WallSeconds      float64 `json:"wall_seconds"`
 }
 
+// OverloadResult reports the deliberate-overload exercise: half the
+// clients hammer one pre-warmed cached key while the other half flood the
+// admission queue with distinct fresh keys. The contract under saturation:
+// fresh work is rejected cleanly (429 + valid Retry-After, never a socket
+// error or 5xx), and the cached traffic keeps its flat latency profile.
+type OverloadResult struct {
+	Clients         int     `json:"clients"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	Requests        int     `json:"requests"`
+	CacheHits       int     `json:"cache_hits"`
+	ColdCompleted   int     `json:"cold_completed"`
+	Rejected        int     `json:"rejected"`
+	Failed          int     `json:"failed"`
+	CachedP50Ms     float64 `json:"cached_p50_ms"`
+	CachedP99Ms     float64 `json:"cached_p99_ms"`
+	// RetryAfterValid is true iff every 429 carried an integer
+	// Retry-After >= 1 consistent with its JSON body.
+	RetryAfterValid bool `json:"retry_after_valid"`
+}
+
 // ServeReport is the full serving-benchmark document recorded into
-// BENCH_8.json's "serve" section.
+// BENCH_<pr>.json's "serve" section.
 type ServeReport struct {
-	Curves []ServeCurve  `json:"curves"`
-	Reload *ReloadResult `json:"reload,omitempty"`
+	Curves   []ServeCurve    `json:"curves"`
+	Reload   *ReloadResult   `json:"reload,omitempty"`
+	Overload *OverloadResult `json:"overload,omitempty"`
 }
 
 // ServeOptions configures MeasureServe.
@@ -64,7 +100,7 @@ type ServeOptions struct {
 	BaseURL string
 	// Families to sweep (default: matching, mis, clustering, walkroute).
 	Families []string
-	// Clients is the concurrency sweep (default {1, 4, 16}).
+	// Clients is the concurrency sweep (default {1, 16, 128, 1024}).
 	Clients []int
 	// RequestsPerClient is the closed-loop depth per client (default 25).
 	RequestsPerClient int
@@ -76,6 +112,10 @@ type ServeOptions struct {
 	// Reloads, when positive, adds the hot-swap exercise: that many
 	// POST /reload calls while Clients[last] clients keep querying.
 	Reloads int
+	// OverloadClients, when positive, adds the deliberate-overload point
+	// with that many clients for OverloadDuration (default 10s).
+	OverloadClients  int
+	OverloadDuration time.Duration
 	// Log receives progress lines (nil = quiet).
 	Log io.Writer
 }
@@ -85,7 +125,7 @@ func (o ServeOptions) withDefaults() ServeOptions {
 		o.Families = []string{"matching", "mis", "clustering", "walkroute"}
 	}
 	if len(o.Clients) == 0 {
-		o.Clients = []int{1, 4, 16}
+		o.Clients = []int{1, 16, 128, 1024}
 	}
 	if o.RequestsPerClient == 0 {
 		o.RequestsPerClient = 25
@@ -96,7 +136,34 @@ func (o ServeOptions) withDefaults() ServeOptions {
 	if o.Eps == 0 {
 		o.Eps = 0.25
 	}
+	if o.OverloadDuration == 0 {
+		o.OverloadDuration = 10 * time.Second
+	}
 	return o
+}
+
+// newLoadClient builds the one HTTP client every worker goroutine shares.
+// The default Transport caps idle connections at 2 per host, so a
+// thousand-client closed loop on it churns through TCP handshakes and
+// TIME_WAIT sockets and ends up benchmarking the dialer. Sizing the idle
+// pool to the client count keeps every connection alive across the whole
+// sweep.
+func newLoadClient(maxClients int) *http.Client {
+	if maxClients < 16 {
+		maxClients = 16
+	}
+	tr := &http.Transport{
+		Proxy: http.ProxyFromEnvironment,
+		DialContext: (&net.Dialer{
+			Timeout:   10 * time.Second,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		ForceAttemptHTTP2:   false,
+		MaxIdleConns:        maxClients + 64,
+		MaxIdleConnsPerHost: maxClients + 64,
+		IdleConnTimeout:     90 * time.Second,
+	}
+	return &http.Client{Transport: tr, Timeout: 5 * time.Minute}
 }
 
 // queryEnvelope is the subset of the server's response envelope the load
@@ -110,7 +177,14 @@ type queryEnvelope struct {
 type sample struct {
 	latency  time.Duration
 	envelope queryEnvelope
-	failed   bool
+	// failed is a non-429 failure: transport error, non-200/429 status,
+	// or an unparseable body.
+	failed bool
+	// rejected is a clean 429 backpressure response; retryAfterOK records
+	// whether its Retry-After header was a valid integer >= 1 matching
+	// the body's retry_after_seconds.
+	rejected     bool
+	retryAfterOK bool
 }
 
 // doQuery issues one POST /query/<family> and parses the envelope.
@@ -124,7 +198,23 @@ func doQuery(client *http.Client, baseURL, family string, eps float64, seed int6
 	defer resp.Body.Close()
 	data, err := io.ReadAll(resp.Body)
 	lat := time.Since(t0)
-	if err != nil || resp.StatusCode != http.StatusOK {
+	if err != nil {
+		return sample{latency: lat, failed: true}
+	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		s := sample{latency: lat, rejected: true}
+		ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+		if err == nil && ra >= 1 {
+			var e struct {
+				RetryAfterSeconds int `json:"retry_after_seconds"`
+			}
+			if json.Unmarshal(data, &e) == nil && e.RetryAfterSeconds == ra {
+				s.retryAfterOK = true
+			}
+		}
+		return s
+	}
+	if resp.StatusCode != http.StatusOK {
 		return sample{latency: lat, failed: true}
 	}
 	var env queryEnvelope
@@ -142,12 +232,42 @@ func percentile(sorted []time.Duration, p float64) float64 {
 	return float64(sorted[idx].Nanoseconds()) / 1e6
 }
 
+func sortedMs(lats []time.Duration) []time.Duration {
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	return lats
+}
+
+// poolSnapshot is the subset of /statz's pool object needed to compute
+// per-point queue-wait deltas.
+type poolSnapshot struct {
+	Completed   int64   `json:"completed"`
+	Rejected    int64   `json:"rejected"`
+	QueueWaitMs float64 `json:"queue_wait_ms"`
+}
+
+func fetchPoolStatz(client *http.Client, baseURL string) (poolSnapshot, error) {
+	var out struct {
+		Pool poolSnapshot `json:"pool"`
+	}
+	resp, err := client.Get(baseURL + "/statz")
+	if err != nil {
+		return out.Pool, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return out.Pool, fmt.Errorf("/statz returned %s", resp.Status)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&out)
+	return out.Pool, err
+}
+
 // runPoint drives one (family, clients) closed-loop point. seedBase gives
 // every point its own seed range so each point mixes fresh (coalescable)
 // canonical runs with cache hits instead of riding entirely on the cache
 // the previous point warmed.
-func runPoint(baseURL, family string, clients, perClient, seedPool int, seedBase int64, eps float64) ServePoint {
-	httpClient := &http.Client{Timeout: 5 * time.Minute}
+func runPoint(httpClient *http.Client, baseURL, family string, clients, perClient, seedPool int, seedBase int64, eps float64) ServePoint {
+	poolBefore, poolBeforeErr := fetchPoolStatz(httpClient, baseURL)
 	all := make([][]sample, clients)
 	var wg sync.WaitGroup
 	var reqID atomic.Int64
@@ -168,7 +288,7 @@ func runPoint(baseURL, family string, clients, perClient, seedPool int, seedBase
 	wall := time.Since(t0)
 
 	pt := ServePoint{Clients: clients, WallSeconds: wall.Seconds()}
-	var lats []time.Duration
+	var lats, hitLats []time.Duration
 	var hits, fresh int
 	var batchSum int64
 	for _, samples := range all {
@@ -178,9 +298,14 @@ func runPoint(baseURL, family string, clients, perClient, seedPool int, seedBase
 				pt.Failed++
 				continue
 			}
+			if s.rejected {
+				pt.Rejected++
+				continue
+			}
 			lats = append(lats, s.latency)
 			if s.envelope.Cached {
 				hits++
+				hitLats = append(hitLats, s.latency)
 			} else {
 				fresh++
 				batchSum += s.envelope.BatchSize
@@ -190,17 +315,31 @@ func runPoint(baseURL, family string, clients, perClient, seedPool int, seedBase
 			}
 		}
 	}
-	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	lats = sortedMs(lats)
 	pt.P50Ms = percentile(lats, 0.50)
 	pt.P99Ms = percentile(lats, 0.99)
+	hitLats = sortedMs(hitLats)
+	pt.CacheHitP50Ms = percentile(hitLats, 0.50)
+	pt.CacheHitP99Ms = percentile(hitLats, 0.99)
+	ok := pt.Requests - pt.Failed - pt.Rejected
 	if wall > 0 {
-		pt.QPS = float64(pt.Requests-pt.Failed) / wall.Seconds()
+		pt.QPS = float64(ok) / wall.Seconds()
 	}
-	if ok := pt.Requests - pt.Failed; ok > 0 {
+	if ok > 0 {
 		pt.CacheHitRate = float64(hits) / float64(ok)
+	}
+	if pt.Requests > 0 {
+		pt.RejectionRate = float64(pt.Rejected) / float64(pt.Requests)
 	}
 	if fresh > 0 {
 		pt.BatchMean = float64(batchSum) / float64(fresh)
+	}
+	if poolBeforeErr == nil {
+		if poolAfter, err := fetchPoolStatz(httpClient, baseURL); err == nil {
+			if runs := poolAfter.Completed - poolBefore.Completed; runs > 0 {
+				pt.QueueWaitMeanMs = (poolAfter.QueueWaitMs - poolBefore.QueueWaitMs) / float64(runs)
+			}
+		}
 	}
 	return pt
 }
@@ -211,12 +350,11 @@ func runPoint(baseURL, family string, clients, perClient, seedPool int, seedBase
 // querying until every swap has landed AND at least one post-swap response
 // has been observed — so the load is guaranteed to span the swaps. Epochs
 // observed by each client must never regress.
-func measureReload(baseURL string, clients, seedPool, reloads int, eps float64, logw io.Writer) *ReloadResult {
-	httpClient := &http.Client{Timeout: 5 * time.Minute}
+func measureReload(httpClient *http.Client, baseURL string, clients, seedPool, reloads int, eps float64, logw io.Writer) *ReloadResult {
 	res := &ReloadResult{Reloads: reloads}
 	var wg sync.WaitGroup
 	var stop atomic.Bool
-	var failed, requests, regressions atomic.Int64
+	var failed, rejected, requests, regressions atomic.Int64
 	var firstEpoch, lastEpoch atomic.Int64
 	families := []string{"matching", "mis", "clustering", "walkroute"}
 	if seedPool > 2 {
@@ -235,6 +373,13 @@ func measureReload(baseURL string, clients, seedPool, reloads int, eps float64, 
 				requests.Add(1)
 				if s.failed {
 					failed.Add(1)
+					continue
+				}
+				if s.rejected {
+					// Post-swap cold bursts can hit admission limits on
+					// shallow queues; clean 429s are not swap failures.
+					rejected.Add(1)
+					time.Sleep(50 * time.Millisecond)
 					continue
 				}
 				if s.envelope.Epoch < lastSeen {
@@ -287,20 +432,120 @@ func measureReload(baseURL string, clients, seedPool, reloads int, eps float64, 
 	res.WallSeconds = time.Since(t0).Seconds()
 	res.Requests = int(requests.Load())
 	res.Failed = int(failed.Load())
+	res.Rejected = int(rejected.Load())
 	res.EpochRegressions = int(regressions.Load())
 	res.FirstEpoch = firstEpoch.Load()
 	res.LastEpoch = lastEpoch.Load()
 	return res
 }
 
+// measureOverload drives the deliberate-overload point. One key is warmed
+// into the cache first; then half the clients hammer that cached key while
+// the other half flood the admission queue with distinct fresh seeds, each
+// a new canonical run the pool cannot absorb. Under saturation the cached
+// traffic must stay on the fast path and the fresh flood must drain into
+// clean 429s.
+func measureOverload(httpClient *http.Client, baseURL string, clients int, d time.Duration, eps float64, logw io.Writer) (*OverloadResult, error) {
+	const family = "mis"
+	const warmSeed = 999_999
+	// Warm the hammered key (first request is a real canonical run).
+	for i := 0; i < 30; i++ {
+		s := doQuery(httpClient, baseURL, family, eps, warmSeed)
+		if s.failed {
+			return nil, fmt.Errorf("overload warmup query failed")
+		}
+		if s.envelope.Cached {
+			break
+		}
+		if s.rejected {
+			time.Sleep(time.Second)
+		}
+	}
+
+	res := &OverloadResult{Clients: clients}
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+	var requests, hits, cold, rejected, failed, badRetryAfter atomic.Int64
+	var mu sync.Mutex
+	var cachedLats []time.Duration
+	var coldSeed atomic.Int64
+	coldSeed.Store(1_000_000)
+	t0 := time.Now()
+	for c := 0; c < clients; c++ {
+		hammer := c%2 == 0
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				var s sample
+				if hammer {
+					s = doQuery(httpClient, baseURL, family, eps, warmSeed)
+				} else {
+					s = doQuery(httpClient, baseURL, family, eps, coldSeed.Add(1))
+				}
+				requests.Add(1)
+				switch {
+				case s.failed:
+					failed.Add(1)
+				case s.rejected:
+					rejected.Add(1)
+					if !s.retryAfterOK {
+						badRetryAfter.Add(1)
+					}
+				case s.envelope.Cached:
+					hits.Add(1)
+					if hammer {
+						mu.Lock()
+						cachedLats = append(cachedLats, s.latency)
+						mu.Unlock()
+					}
+				default:
+					cold.Add(1)
+				}
+			}
+		}()
+	}
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+	res.DurationSeconds = time.Since(t0).Seconds()
+	res.Requests = int(requests.Load())
+	res.CacheHits = int(hits.Load())
+	res.ColdCompleted = int(cold.Load())
+	res.Rejected = int(rejected.Load())
+	res.Failed = int(failed.Load())
+	res.RetryAfterValid = res.Rejected > 0 && badRetryAfter.Load() == 0
+	cachedLats = sortedMs(cachedLats)
+	res.CachedP50Ms = percentile(cachedLats, 0.50)
+	res.CachedP99Ms = percentile(cachedLats, 0.99)
+	if logw != nil {
+		fmt.Fprintf(logw,
+			"overload clients=%d %.1fs: %d reqs, %d cache hits (p50 %.2fms p99 %.2fms), %d cold done, %d rejected (retry-after valid: %v), %d failed\n",
+			res.Clients, res.DurationSeconds, res.Requests, res.CacheHits,
+			res.CachedP50Ms, res.CachedP99Ms, res.ColdCompleted, res.Rejected, res.RetryAfterValid, res.Failed)
+	}
+	return res, nil
+}
+
 // MeasureServe drives the full closed-loop serving benchmark against a
 // running expandersvc instance and returns the QPS / latency / batch-
-// occupancy curves (plus the reload-under-load result when requested).
+// occupancy curves (plus the reload-under-load and deliberate-overload
+// results when requested). All load goroutines share one keep-alive
+// Transport sized to the largest client count.
 func MeasureServe(opts ServeOptions) (*ServeReport, error) {
 	opts = opts.withDefaults()
 	if opts.BaseURL == "" {
 		return nil, fmt.Errorf("servebench: BaseURL is required")
 	}
+	maxClients := opts.OverloadClients
+	for _, c := range opts.Clients {
+		if c > maxClients {
+			maxClients = c
+		}
+	}
+	httpClient := newLoadClient(maxClients)
+	defer httpClient.CloseIdleConnections()
+
 	// Fail fast if the server is not there.
 	probe := &http.Client{Timeout: 10 * time.Second}
 	resp, err := probe.Get(opts.BaseURL + "/healthz")
@@ -320,27 +565,39 @@ func MeasureServe(opts ServeOptions) (*ServeReport, error) {
 		for _, clients := range opts.Clients {
 			seedBase := pointIdx * int64(opts.SeedPool)
 			pointIdx++
-			pt := runPoint(opts.BaseURL, family, clients, opts.RequestsPerClient, opts.SeedPool, seedBase, opts.Eps)
+			pt := runPoint(httpClient, opts.BaseURL, family, clients, opts.RequestsPerClient, opts.SeedPool, seedBase, opts.Eps)
 			c.Points = append(c.Points, pt)
 			if opts.Log != nil {
 				fmt.Fprintf(opts.Log,
-					"%-10s clients=%-3d %5d reqs (%d failed) %8.1f qps  p50 %7.2fms  p99 %7.2fms  hit %4.0f%%  batch mean %.2f max %d\n",
-					family, clients, pt.Requests, pt.Failed, pt.QPS, pt.P50Ms, pt.P99Ms,
-					pt.CacheHitRate*100, pt.BatchMean, pt.BatchMax)
+					"%-10s clients=%-4d %6d reqs (%d failed, %d rejected) %8.1f qps  p50 %8.2fms  p99 %8.2fms  hit %4.0f%% (p99 %7.2fms)  qwait %6.2fms  batch mean %.2f max %d\n",
+					family, clients, pt.Requests, pt.Failed, pt.Rejected, pt.QPS, pt.P50Ms, pt.P99Ms,
+					pt.CacheHitRate*100, pt.CacheHitP99Ms, pt.QueueWaitMeanMs, pt.BatchMean, pt.BatchMax)
 			}
 		}
 		rep.Curves = append(rep.Curves, c)
 	}
 	if opts.Reloads > 0 {
 		clients := opts.Clients[len(opts.Clients)-1]
-		rep.Reload = measureReload(opts.BaseURL, clients, opts.SeedPool,
+		if clients > 128 {
+			clients = 128 // swap churn needs sustained load, not max fan-out
+		}
+		rep.Reload = measureReload(httpClient, opts.BaseURL, clients, opts.SeedPool,
 			opts.Reloads, opts.Eps, opts.Log)
 		if opts.Log != nil {
 			fmt.Fprintf(opts.Log,
-				"reload under load: %d reloads (%d failed), %d requests (%d failed), epochs %d -> %d, %d regressions\n",
+				"reload under load: %d reloads (%d failed), %d requests (%d failed, %d rejected), epochs %d -> %d, %d regressions\n",
 				rep.Reload.Reloads, rep.Reload.ReloadFailures, rep.Reload.Requests,
-				rep.Reload.Failed, rep.Reload.FirstEpoch, rep.Reload.LastEpoch, rep.Reload.EpochRegressions)
+				rep.Reload.Failed, rep.Reload.Rejected, rep.Reload.FirstEpoch, rep.Reload.LastEpoch,
+				rep.Reload.EpochRegressions)
 		}
+	}
+	if opts.OverloadClients > 0 {
+		ov, err := measureOverload(httpClient, opts.BaseURL, opts.OverloadClients,
+			opts.OverloadDuration, opts.Eps, opts.Log)
+		if err != nil {
+			return nil, err
+		}
+		rep.Overload = ov
 	}
 	return rep, nil
 }

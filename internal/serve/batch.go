@@ -7,10 +7,11 @@ import (
 )
 
 // flight is one in-progress canonical run that concurrent requests with
-// the same key join instead of re-running.
+// the same key join instead of re-running. The shared payload is the
+// encoded result, so followers reuse the leader's one-time encoding.
 type flight struct {
 	done   chan struct{}
-	res    *Result
+	res    *encResult
 	err    error
 	joined atomic.Int64 // batch occupancy: leader + followers
 }
@@ -35,7 +36,7 @@ func newBatcher(window time.Duration) *batcher {
 // final batch occupancy, and whether this caller led the flight. run must
 // make the result visible to late arrivals (i.e. populate the cache)
 // before do returns, because the flight is deregistered at that point.
-func (b *batcher) do(key string, run func() (*Result, error)) (res *Result, occupancy int64, led bool, err error) {
+func (b *batcher) do(key string, run func() (*encResult, error)) (res *encResult, occupancy int64, led bool, err error) {
 	b.mu.Lock()
 	if f, ok := b.flights[key]; ok {
 		f.joined.Add(1)

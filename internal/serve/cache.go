@@ -1,48 +1,136 @@
 package serve
 
-import "sync"
+import (
+	"container/list"
+	"sync"
+)
 
-// resultCache stores canonical results keyed on (epoch, query key). Entries
-// are never invalidated individually: a snapshot swap calls swapEpoch and
-// every older epoch's entries die together, which is the whole invalidation
-// story — results are pure functions of (snapshot, params).
+// defaultCacheBytes caps the result cache at 256 MiB unless configured.
+const defaultCacheBytes = 256 << 20
+
+// resultCache stores encoded canonical results keyed on (epoch, query key),
+// bounded by a bytes-accounted LRU. Entries are never invalidated
+// individually by time: a snapshot swap calls swapEpoch and every older
+// epoch's entries die together (results are pure functions of (snapshot,
+// params)), and within an epoch the LRU evicts the coldest entries once
+// the accounted bytes — encoded JSON plus the Result's backing arrays —
+// exceed the cap. Without the cap, one entry per distinct seed/params
+// pair, each holding full per-vertex arrays, grows without bound.
 type resultCache struct {
-	mu      sync.Mutex
-	byEpoch map[int64]map[string]*Result
+	mu       sync.Mutex
+	maxBytes int64
+	curBytes int64
+	ll       *list.List // front = most recently used
+	byEpoch  map[int64]map[string]*list.Element
+
+	evictions int64
 }
 
-func newResultCache() *resultCache {
-	return &resultCache{byEpoch: make(map[int64]map[string]*Result)}
+// cacheEntry is one (epoch, key) -> encoded result binding on the LRU list.
+type cacheEntry struct {
+	epoch int64
+	key   string
+	val   *encResult
+	size  int64
 }
 
-func (c *resultCache) get(epoch int64, key string) *Result {
+func newResultCache(maxBytes int64) *resultCache {
+	if maxBytes <= 0 {
+		maxBytes = defaultCacheBytes
+	}
+	return &resultCache{
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		byEpoch:  make(map[int64]map[string]*list.Element),
+	}
+}
+
+func (c *resultCache) get(epoch int64, key string) *encResult {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.byEpoch[epoch][key]
+	e := c.byEpoch[epoch][key]
+	if e == nil {
+		return nil
+	}
+	c.ll.MoveToFront(e)
+	return e.Value.(*cacheEntry).val
 }
 
-func (c *resultCache) put(epoch int64, key string, r *Result) {
+func (c *resultCache) put(epoch int64, key string, v *encResult) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	m := c.byEpoch[epoch]
 	if m == nil {
-		m = make(map[string]*Result)
+		m = make(map[string]*list.Element)
 		c.byEpoch[epoch] = m
 	}
-	m[key] = r
+	size := v.memBytes() + int64(len(key))
+	if e, ok := m[key]; ok {
+		// Possible when a flight for a key raced an eviction of the same
+		// key's earlier entry; keep the newer value and fix the accounting.
+		ent := e.Value.(*cacheEntry)
+		c.curBytes += size - ent.size
+		ent.val, ent.size = v, size
+		c.ll.MoveToFront(e)
+	} else {
+		ent := &cacheEntry{epoch: epoch, key: key, val: v, size: size}
+		m[key] = c.ll.PushFront(ent)
+		c.curBytes += size
+	}
+	// Evict coldest-first down to the cap, but never the entry just
+	// touched: a single oversized result still serves its own flight.
+	for c.curBytes > c.maxBytes && c.ll.Len() > 1 {
+		back := c.ll.Back()
+		c.removeLocked(back)
+		c.evictions++
+	}
+}
+
+func (c *resultCache) removeLocked(e *list.Element) {
+	ent := e.Value.(*cacheEntry)
+	c.ll.Remove(e)
+	c.curBytes -= ent.size
+	if m := c.byEpoch[ent.epoch]; m != nil {
+		delete(m, ent.key)
+		if len(m) == 0 {
+			delete(c.byEpoch, ent.epoch)
+		}
+	}
 }
 
 // swapEpoch drops every epoch except the one that just became current.
 // In-flight runs against an older snapshot may still put() afterwards;
-// their orphaned epoch map is recreated transiently and swept by the next
-// swap — harmless, since no new request ever reads an old epoch.
+// their orphaned entries are swept by the next swap and count against the
+// byte cap meanwhile — harmless, since no new request ever reads an old
+// epoch.
 func (c *resultCache) swapEpoch(current int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for e := range c.byEpoch {
-		if e != current {
-			delete(c.byEpoch, e)
+	var next *list.Element
+	for e := c.ll.Front(); e != nil; e = next {
+		next = e.Next()
+		if e.Value.(*cacheEntry).epoch != current {
+			c.removeLocked(e)
 		}
+	}
+}
+
+// cacheStatz is the /statz JSON shape of the cache counters.
+type cacheStatz struct {
+	Entries       int   `json:"entries"`
+	Bytes         int64 `json:"bytes"`
+	CapacityBytes int64 `json:"capacity_bytes"`
+	Evictions     int64 `json:"evictions"`
+}
+
+func (c *resultCache) statz() cacheStatz {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return cacheStatz{
+		Entries:       c.ll.Len(),
+		Bytes:         c.curBytes,
+		CapacityBytes: c.maxBytes,
+		Evictions:     c.evictions,
 	}
 }
 

@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+// fakeEnc builds an encResult whose accounted size is dominated by a
+// payload of `bytes` encoded bytes.
+func fakeEnc(bytes int) *encResult {
+	return &encResult{res: &Result{}, full: make([]byte, bytes)}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// Entry overhead is 256 + len(key); size payloads so ~3 entries fit.
+	payload := 4096
+	entrySize := int64(payload) + 256 + 2 // key "kN"
+	c := newResultCache(3 * entrySize)
+
+	for i := 0; i < 3; i++ {
+		c.put(1, fmt.Sprintf("k%d", i), fakeEnc(payload))
+	}
+	st := c.statz()
+	if st.Entries != 3 || st.Evictions != 0 {
+		t.Fatalf("after 3 puts: %+v", st)
+	}
+	if st.Bytes != 3*entrySize {
+		t.Fatalf("bytes accounted %d, want %d", st.Bytes, 3*entrySize)
+	}
+
+	// Touch k0 so k1 becomes coldest, then overflow.
+	if c.get(1, "k0") == nil {
+		t.Fatal("k0 missing before overflow")
+	}
+	c.put(1, "k3", fakeEnc(payload))
+	if c.get(1, "k1") != nil {
+		t.Fatal("k1 should have been evicted (coldest)")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if c.get(1, k) == nil {
+			t.Fatalf("%s evicted, want k1 only", k)
+		}
+	}
+	st = c.statz()
+	if st.Entries != 3 || st.Evictions != 1 {
+		t.Fatalf("after overflow: %+v", st)
+	}
+	if st.Bytes > c.maxBytes {
+		t.Fatalf("bytes %d above cap %d after eviction", st.Bytes, c.maxBytes)
+	}
+}
+
+func TestCacheOversizedEntrySurvivesItsOwnPut(t *testing.T) {
+	c := newResultCache(1024)
+	c.put(1, "big", fakeEnc(1<<20))
+	if c.get(1, "big") == nil {
+		t.Fatal("oversized entry evicted before it could serve its own flight")
+	}
+	// The next put pushes the oversized entry out.
+	c.put(1, "small", fakeEnc(16))
+	if c.get(1, "big") != nil {
+		t.Fatal("oversized entry survived a later put")
+	}
+	if c.get(1, "small") == nil {
+		t.Fatal("small entry missing")
+	}
+}
+
+func TestCacheSwapEpoch(t *testing.T) {
+	c := newResultCache(0) // default cap
+	c.put(1, "a", fakeEnc(100))
+	c.put(1, "b", fakeEnc(100))
+	c.put(2, "a", fakeEnc(100))
+	c.swapEpoch(2)
+	if c.get(1, "a") != nil || c.get(1, "b") != nil {
+		t.Fatal("old-epoch entries survived the swap")
+	}
+	if c.get(2, "a") == nil {
+		t.Fatal("current-epoch entry dropped by the swap")
+	}
+	st := c.statz()
+	if st.Entries != 1 {
+		t.Fatalf("entries = %d after swap, want 1", st.Entries)
+	}
+	if st.Evictions != 0 {
+		t.Fatalf("epoch death counted as eviction: %+v", st)
+	}
+	if c.size(2) != 1 || c.size(1) != 0 {
+		t.Fatalf("size(2)=%d size(1)=%d", c.size(2), c.size(1))
+	}
+}
+
+func TestCacheReplaceAccounting(t *testing.T) {
+	c := newResultCache(1 << 20)
+	c.put(1, "k", fakeEnc(1000))
+	before := c.statz().Bytes
+	c.put(1, "k", fakeEnc(3000))
+	after := c.statz().Bytes
+	if after-before != 2000 {
+		t.Fatalf("replacing a 1000B payload with 3000B changed accounting by %d, want 2000", after-before)
+	}
+	if st := c.statz(); st.Entries != 1 {
+		t.Fatalf("replace duplicated the entry: %+v", st)
+	}
+}

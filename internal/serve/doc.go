@@ -36,5 +36,26 @@
 // span machinery: rounds, messages, words, and bits per phase of the run
 // that produced it.
 //
-// See DESIGN.md §3.14 for the architecture and API.md for the wire format.
+// # Admission control and the encoded-response cache
+//
+// Canonical runs are multi-phase CONGEST simulations — seconds to hours of
+// CPU, not microseconds — so they are admitted like batch jobs, not HTTP
+// handlers. A bounded run pool (default min(GOMAXPROCS, NumCPU) workers
+// over a FIFO admission queue) executes every canonical run; only flight
+// leaders submit to it. When the queue is full the request is rejected
+// immediately with 429 + Retry-After (a structured JSON error carrying the
+// same estimate), so distinct-key bursts throttle cleanly instead of
+// oversubscribing the simulator. Cache hits and coalesced followers never
+// touch the pool: saturation affects only genuinely new work.
+//
+// The cache stores the canonical result's *encoded* JSON bytes alongside
+// the Result (encoded once by the flight leader, inside its pool slot, via
+// a manual encoder pinned byte-identical to encoding/json). A cache hit or
+// coalesced response is then a header write plus one pooled-buffer copy —
+// no per-vertex re-encoding, zero allocations at steady state. The cache
+// is bounded by bytes-accounted LRU eviction on top of the epoch-death
+// invalidation rule.
+//
+// See DESIGN.md §3.14–3.15 for the architecture and API.md for the wire
+// format.
 package serve

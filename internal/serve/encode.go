@@ -1,0 +1,291 @@
+package serve
+
+import (
+	"encoding/json"
+	"math"
+	"strconv"
+	"sync"
+)
+
+// This file is the hot-path response encoder. A canonical Result is
+// dominated by per-vertex int arrays (mate/set/labels/delivered_to) and
+// per-cluster stats; reflection-based json.Marshal re-walks all of them on
+// every cache hit. Instead, the flight leader encodes the Result exactly
+// once (full and projection-trimmed forms), the cache stores those bytes,
+// and a response is the per-request envelope appended around the cached
+// bytes in a pooled buffer — no per-vertex work, near-zero allocations.
+//
+// The encoders are pinned byte-identical to encoding/json by tests
+// (TestEncodeMatchesStdlib*): same field order, same omitempty behaviour,
+// same float and string formatting. Any schema change to Result,
+// QueryResponse, ClusterStat, Accounting, PhaseAccount or VertexAnswer
+// must be mirrored here and will be caught by those tests.
+
+// encResult pairs a canonical *Result with its one-time JSON encodings:
+// full (every field) and trimmed (per-vertex arrays and per_cluster
+// dropped — what a projection response embeds). This is the unit the
+// result cache stores and coalesced flights share.
+type encResult struct {
+	res     *Result
+	full    []byte
+	trimmed []byte
+}
+
+// newEncResult encodes r once. Called by the flight leader inside the run
+// pool, so encoding CPU is admission-controlled along with the run itself.
+func newEncResult(r *Result) *encResult {
+	full := appendResult(make([]byte, 0, estimateResultLen(r)), r, false)
+	trimmed := appendResult(make([]byte, 0, 512), r, true)
+	return &encResult{res: r, full: full, trimmed: trimmed}
+}
+
+// memBytes estimates the resident footprint of the entry for the cache's
+// bytes accounting: both encodings plus the backing arrays of the Result.
+func (e *encResult) memBytes() int64 {
+	r := e.res
+	n := int64(len(e.full) + len(e.trimmed))
+	n += int64(len(r.Mate)+len(r.Set)+len(r.Labels)+len(r.DeliveredTo)) * 8
+	n += int64(len(r.PerCluster)) * 32
+	n += int64(len(r.Accounting.Phases)) * 56
+	return n + 256 // struct headers, map entry, list element
+}
+
+// estimateResultLen sizes the full-encoding buffer: ~8 digits+comma per
+// array element plus fixed overhead, so encoding rarely regrows.
+func estimateResultLen(r *Result) int {
+	n := 9 * (len(r.Mate) + len(r.Set) + len(r.Labels) + len(r.DeliveredTo))
+	n += 48 * len(r.PerCluster)
+	n += 96 * len(r.Accounting.Phases)
+	return n + 512
+}
+
+// respBuf is a pooled response-assembly buffer.
+type respBuf struct{ b []byte }
+
+var respPool = sync.Pool{New: func() any { return &respBuf{b: make([]byte, 0, 4096)} }}
+
+func getRespBuf() *respBuf { return respPool.Get().(*respBuf) }
+
+func putRespBuf(rb *respBuf) {
+	if cap(rb.b) > 4<<20 {
+		return // don't let one huge response pin a huge buffer forever
+	}
+	respPool.Put(rb)
+}
+
+// plainJSONString reports whether s encodes as `"` + s + `"` under
+// encoding/json (printable ASCII, nothing escaped, no HTML escaping).
+func plainJSONString(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 0x20 || c > 0x7e || c == '"' || c == '\\' || c == '<' || c == '>' || c == '&' {
+			return false
+		}
+	}
+	return true
+}
+
+// appendJSONString appends the encoding/json encoding of s. The fast path
+// covers every string this server actually emits (family and phase names);
+// anything exotic round-trips through json.Marshal for exact parity.
+func appendJSONString(b []byte, s string) []byte {
+	if plainJSONString(s) {
+		b = append(b, '"')
+		b = append(b, s...)
+		return append(b, '"')
+	}
+	enc, err := json.Marshal(s)
+	if err != nil { // cannot happen for a string
+		return append(b, `""`...)
+	}
+	return append(b, enc...)
+}
+
+// appendJSONFloat appends f exactly as encoding/json does: shortest
+// round-trip form, 'f' format inside [1e-6, 1e21), 'e' outside with the
+// exponent's leading zero stripped.
+func appendJSONFloat(b []byte, f float64) []byte {
+	if math.IsInf(f, 0) || math.IsNaN(f) {
+		// encoding/json errors out here; our values are wall-clock derived
+		// and finite, but never emit invalid JSON.
+		return append(b, '0')
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b
+}
+
+// appendIntsField appends `,"name":[v0,v1,...]`.
+func appendIntsField(b []byte, name string, vs []int) []byte {
+	b = append(b, ',', '"')
+	b = append(b, name...)
+	b = append(b, '"', ':', '[')
+	for i, v := range vs {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, int64(v), 10)
+	}
+	return append(b, ']')
+}
+
+// appendIntField appends `,"name":v`.
+func appendIntField(b []byte, name string, v int64) []byte {
+	b = append(b, ',', '"')
+	b = append(b, name...)
+	b = append(b, '"', ':')
+	return strconv.AppendInt(b, v, 10)
+}
+
+// appendAccounting appends the Accounting struct (always present, no
+// omitempty except phases).
+func appendAccounting(b []byte, a *Accounting) []byte {
+	b = append(b, `{"rounds":`...)
+	b = strconv.AppendInt(b, int64(a.Rounds), 10)
+	b = appendIntField(b, "messages", a.Messages)
+	b = appendIntField(b, "words", a.Words)
+	b = appendIntField(b, "bits", a.Bits)
+	if len(a.Phases) > 0 {
+		b = append(b, `,"phases":[`...)
+		for i := range a.Phases {
+			ph := &a.Phases[i]
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = append(b, `{"name":`...)
+			b = appendJSONString(b, ph.Name)
+			b = appendIntField(b, "rounds", int64(ph.Rounds))
+			b = appendIntField(b, "messages", ph.Messages)
+			b = appendIntField(b, "words", ph.Words)
+			b = appendIntField(b, "bits", ph.Bits)
+			b = append(b, '}')
+		}
+		b = append(b, ']')
+	}
+	return append(b, '}')
+}
+
+// appendResult appends the JSON encoding of r, byte-identical to
+// json.Marshal(r). With trimmed set, the per-vertex arrays and per_cluster
+// are dropped exactly as the projection path's shallow copy would
+// (arrays omitted via omitempty, per_cluster null) — without materializing
+// that copy.
+func appendResult(b []byte, r *Result, trimmed bool) []byte {
+	b = append(b, `{"family":`...)
+	b = appendJSONString(b, r.Family)
+	b = appendIntField(b, "epoch", r.Epoch)
+	b = appendIntField(b, "n", int64(r.N))
+	b = appendIntField(b, "m", int64(r.M))
+	b = appendIntField(b, "clusters", int64(r.Clusters))
+
+	mate, set, labels, deliveredTo, perCluster := r.Mate, r.Set, r.Labels, r.DeliveredTo, r.PerCluster
+	if trimmed {
+		mate, set, labels, deliveredTo, perCluster = nil, nil, nil, nil, nil
+	}
+	if len(mate) > 0 {
+		b = appendIntsField(b, "mate", mate)
+	}
+	if r.MatchingSize != 0 {
+		b = appendIntField(b, "matching_size", int64(r.MatchingSize))
+	}
+	if r.Weight != 0 {
+		b = appendIntField(b, "weight", r.Weight)
+	}
+	if len(set) > 0 {
+		b = appendIntsField(b, "set", set)
+	}
+	if r.SetSize != 0 {
+		b = appendIntField(b, "set_size", int64(r.SetSize))
+	}
+	if len(labels) > 0 {
+		b = appendIntsField(b, "labels", labels)
+	}
+	if r.CutEdges != 0 {
+		b = appendIntField(b, "cut_edges", int64(r.CutEdges))
+	}
+	if r.CutFraction != 0 {
+		b = append(b, `,"cut_fraction":`...)
+		b = appendJSONFloat(b, r.CutFraction)
+	}
+	if r.MaxDiameter != 0 {
+		b = appendIntField(b, "max_diameter", int64(r.MaxDiameter))
+	}
+	if r.Delivered != 0 {
+		b = appendIntField(b, "delivered", int64(r.Delivered))
+	}
+	if r.Undelivered != 0 {
+		b = appendIntField(b, "undelivered", int64(r.Undelivered))
+	}
+	if len(deliveredTo) > 0 {
+		b = appendIntsField(b, "delivered_to", deliveredTo)
+	}
+	b = append(b, `,"per_cluster":`...)
+	if perCluster == nil {
+		b = append(b, `null`...)
+	} else {
+		b = append(b, '[')
+		for i := range perCluster {
+			cs := &perCluster[i]
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = append(b, `{"id":`...)
+			b = strconv.AppendInt(b, int64(cs.ID), 10)
+			b = appendIntField(b, "leader", int64(cs.Leader))
+			b = appendIntField(b, "size", int64(cs.Size))
+			b = appendIntField(b, "stat", int64(cs.Stat))
+			b = append(b, '}')
+		}
+		b = append(b, ']')
+	}
+	b = append(b, `,"accounting":`...)
+	b = appendAccounting(b, &r.Accounting)
+	return append(b, '}')
+}
+
+// appendQueryResponse appends the full response body: the per-request
+// envelope around the pre-encoded result bytes. This is the entire
+// cache-hit encoding path — one buffer append per field plus one copy of
+// the cached result bytes — and is gated allocation-free by
+// TestResponseEncodingAllocs.
+func appendQueryResponse(b []byte, family string, epoch int64, cached bool, batchSize int64, tookMs float64, selection []VertexAnswer, result []byte) []byte {
+	b = append(b, `{"family":`...)
+	b = appendJSONString(b, family)
+	b = appendIntField(b, "epoch", epoch)
+	b = append(b, `,"cached":`...)
+	if cached {
+		b = append(b, `true`...)
+	} else {
+		b = append(b, `false`...)
+	}
+	b = appendIntField(b, "batch_size", batchSize)
+	b = append(b, `,"took_ms":`...)
+	b = appendJSONFloat(b, tookMs)
+	if len(selection) > 0 {
+		b = append(b, `,"selection":[`...)
+		for i := range selection {
+			va := &selection[i]
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = append(b, `{"v":`...)
+			b = strconv.AppendInt(b, int64(va.V), 10)
+			b = appendIntField(b, "value", va.Value)
+			b = append(b, '}')
+		}
+		b = append(b, ']')
+	}
+	b = append(b, `,"result":`...)
+	b = append(b, result...)
+	return append(b, '}')
+}

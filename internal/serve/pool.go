@@ -1,0 +1,193 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrSaturated is returned by runPool.submit when the admission queue is
+// full: the server is already running as many canonical simulator runs as
+// it has leaders, with a full FIFO of runs waiting behind them. Callers
+// translate it into 429 + Retry-After instead of queueing unboundedly.
+var ErrSaturated = errors.New("run pool saturated")
+
+// poolJob is one admitted canonical run waiting for (or on) a worker.
+type poolJob struct {
+	fn       func()
+	enqueued time.Time
+	done     chan struct{}
+}
+
+// runPool is the bounded executor for canonical simulator runs. Flight
+// leaders submit the run; coalesced followers and cache hits never touch
+// the pool, so saturation throttles only genuinely new work. Admission is
+// a bounded FIFO: submit either enqueues (and blocks the leader until a
+// worker has run the job) or fails immediately with ErrSaturated.
+//
+// A canonical run is a multi-phase CONGEST simulation — CPU-seconds to
+// CPU-hours, not microseconds — so the pool admits runs like batch jobs:
+// at most `workers` execute concurrently and at most `depth` wait behind
+// them, and everything beyond that is explicit backpressure.
+type runPool struct {
+	jobs    chan *poolJob
+	stop    chan struct{}
+	stopped sync.Once
+	workers int
+
+	queued    atomic.Int64 // jobs admitted but not yet started
+	running   atomic.Int64 // jobs currently executing
+	submitted atomic.Int64 // admission attempts (admitted + rejected)
+	completed atomic.Int64
+	rejected  atomic.Int64
+	waitNs    atomic.Int64 // total time admitted jobs spent queued
+	maxWaitNs atomic.Int64
+	runNs     atomic.Int64 // total worker execution time
+}
+
+// defaultPoolWorkers is the leader count used when Config.RunPool is 0:
+// one canonical run per schedulable CPU, never more.
+func defaultPoolWorkers() int {
+	w := runtime.GOMAXPROCS(0)
+	if n := runtime.NumCPU(); n < w {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// newRunPool starts `workers` leader goroutines over a FIFO of capacity
+// `depth`. Zero or negative values select the defaults (workers:
+// min(GOMAXPROCS, NumCPU); depth: 4x workers).
+func newRunPool(workers, depth int) *runPool {
+	if workers <= 0 {
+		workers = defaultPoolWorkers()
+	}
+	if depth <= 0 {
+		depth = 4 * workers
+	}
+	p := &runPool{
+		jobs:    make(chan *poolJob, depth),
+		stop:    make(chan struct{}),
+		workers: workers,
+	}
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *runPool) worker() {
+	for {
+		select {
+		case <-p.stop:
+			return
+		case j := <-p.jobs:
+			p.queued.Add(-1)
+			wait := time.Since(j.enqueued).Nanoseconds()
+			p.waitNs.Add(wait)
+			for {
+				m := p.maxWaitNs.Load()
+				if wait <= m || p.maxWaitNs.CompareAndSwap(m, wait) {
+					break
+				}
+			}
+			p.running.Add(1)
+			t0 := time.Now()
+			j.fn()
+			p.runNs.Add(time.Since(t0).Nanoseconds())
+			p.running.Add(-1)
+			p.completed.Add(1)
+			close(j.done)
+		}
+	}
+}
+
+// submit admits fn to the pool and blocks until a worker has executed it.
+// When the FIFO is full it returns ErrSaturated without blocking.
+func (p *runPool) submit(fn func()) error {
+	p.submitted.Add(1)
+	j := &poolJob{fn: fn, enqueued: time.Now(), done: make(chan struct{})}
+	select {
+	case p.jobs <- j:
+		p.queued.Add(1)
+	default:
+		p.rejected.Add(1)
+		return ErrSaturated
+	}
+	<-j.done
+	return nil
+}
+
+// retryAfter estimates how long a rejected caller should back off: the
+// current backlog (queued + running) times the observed mean run duration,
+// divided across the workers, clamped to [1s, 60s]. With no completed runs
+// yet it falls back to 1s.
+func (p *runPool) retryAfter() time.Duration {
+	meanRun := time.Second
+	if done := p.completed.Load(); done > 0 {
+		meanRun = time.Duration(p.runNs.Load() / done)
+	}
+	backlog := p.queued.Load() + p.running.Load()
+	est := time.Duration(backlog) * meanRun / time.Duration(p.workers)
+	if est < time.Second {
+		est = time.Second
+	}
+	if est > time.Minute {
+		est = time.Minute
+	}
+	return est
+}
+
+// close stops the workers. Only call after the HTTP listener has drained:
+// jobs still queued at close time would block their submitters forever.
+func (p *runPool) close() {
+	p.stopped.Do(func() { close(p.stop) })
+}
+
+// poolStatz is the /statz JSON shape of the pool counters.
+type poolStatz struct {
+	Workers         int     `json:"workers"`
+	QueueCapacity   int     `json:"queue_capacity"`
+	Queued          int64   `json:"queued"`
+	Running         int64   `json:"running"`
+	Submitted       int64   `json:"submitted"`
+	Completed       int64   `json:"completed"`
+	Rejected        int64   `json:"rejected"`
+	QueueWaitMs     float64 `json:"queue_wait_ms"`
+	QueueWaitMeanMs float64 `json:"queue_wait_mean_ms"`
+	QueueWaitMaxMs  float64 `json:"queue_wait_max_ms"`
+	RunMs           float64 `json:"run_ms"`
+}
+
+func (p *runPool) statz() poolStatz {
+	st := poolStatz{
+		Workers:        p.workers,
+		QueueCapacity:  cap(p.jobs),
+		Queued:         p.queued.Load(),
+		Running:        p.running.Load(),
+		Submitted:      p.submitted.Load(),
+		Completed:      p.completed.Load(),
+		Rejected:       p.rejected.Load(),
+		QueueWaitMs:    float64(p.waitNs.Load()) / 1e6,
+		QueueWaitMaxMs: float64(p.maxWaitNs.Load()) / 1e6,
+		RunMs:          float64(p.runNs.Load()) / 1e6,
+	}
+	// waitNs is recorded at dequeue, so the mean's denominator must count
+	// dequeued jobs (still-running ones included), not just completed.
+	if dequeued := st.Completed + st.Running; dequeued > 0 {
+		st.QueueWaitMeanMs = st.QueueWaitMs / float64(dequeued)
+	}
+	return st
+}
+
+// String makes pool saturation errors self-describing in logs.
+func (p *runPool) String() string {
+	return fmt.Sprintf("runPool{workers=%d depth=%d queued=%d running=%d}",
+		p.workers, cap(p.jobs), p.queued.Load(), p.running.Load())
+}

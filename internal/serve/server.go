@@ -3,10 +3,12 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -24,14 +26,31 @@ type Config struct {
 	// running (0 = run immediately; coalescing then only catches requests
 	// arriving during the run itself).
 	BatchWindow time.Duration
+	// RunPool is the number of canonical runs executed concurrently
+	// (0 = min(GOMAXPROCS, NumCPU)). Cache hits and coalesced followers
+	// never occupy a pool slot.
+	RunPool int
+	// QueueDepth bounds the run pool's FIFO admission queue (0 = 4x the
+	// pool size). When the queue is full, new canonical runs are rejected
+	// with 429 + Retry-After instead of piling up.
+	QueueDepth int
+	// CacheBytes caps the accounted bytes of the result cache
+	// (0 = 256 MiB). Coldest entries are evicted LRU-first past the cap.
+	CacheBytes int64
 	// Log receives operational messages (nil = discard).
 	Log *log.Logger
+
+	// blockRuns, when non-nil, gates every canonical run: the run first
+	// receives from the channel before executing. Test-only hook for
+	// holding the pool deliberately full.
+	blockRuns chan struct{}
 }
 
 // famStats is the per-family counter block surfaced by /statz.
 type famStats struct {
 	requests  atomic.Int64
 	errors    atomic.Int64
+	rejected  atomic.Int64
 	cacheHits atomic.Int64
 	flights   atomic.Int64
 	coalesced atomic.Int64
@@ -60,6 +79,7 @@ type Server struct {
 
 	cache *resultCache
 	batch *batcher
+	pool  *runPool
 
 	reloadMu     sync.Mutex // serializes snapshot builds, not queries
 	reloads      atomic.Int64
@@ -77,8 +97,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	s := &Server{
 		cfg:   cfg,
-		cache: newResultCache(),
+		cache: newResultCache(cfg.CacheBytes),
 		batch: newBatcher(cfg.BatchWindow),
+		pool:  newRunPool(cfg.RunPool, cfg.QueueDepth),
 		fam:   make(map[string]*famStats),
 		start: time.Now(),
 	}
@@ -108,10 +129,13 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Epoch returns the current snapshot epoch.
 func (s *Server) Epoch() int64 { return s.epoch.Load() }
 
-// Close retires the current snapshot. Call after the HTTP listener has
-// drained (http.Server.Shutdown): the snapshot (and its mmap) is freed
+// Close retires the current snapshot and stops the run pool. Call after
+// the HTTP listener has drained (http.Server.Shutdown): the drain order is
+// listener first (no new requests), then the pool (no queued runs left to
+// strand), then the snapshot, which is freed — and its mmap unmapped —
 // once the last in-flight request releases it.
 func (s *Server) Close() {
+	s.pool.close()
 	if snap := s.cur.Swap(nil); snap != nil {
 		snap.retire()
 	}
@@ -220,6 +244,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 type statzFamily struct {
 	Requests  int64   `json:"requests"`
 	Errors    int64   `json:"errors"`
+	Rejected  int64   `json:"rejected"`
 	CacheHits int64   `json:"cache_hits"`
 	Flights   int64   `json:"flights"`
 	Coalesced int64   `json:"coalesced"`
@@ -243,6 +268,7 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 		sf := statzFamily{
 			Requests:  f.requests.Load(),
 			Errors:    f.errors.Load(),
+			Rejected:  f.rejected.Load(),
 			CacheHits: f.cacheHits.Load(),
 			Flights:   f.flights.Load(),
 			Coalesced: f.coalesced.Load(),
@@ -270,6 +296,8 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 		"reloads":       s.reloads.Load(),
 		"reload_errors": s.reloadErrors.Load(),
 		"cache_entries": s.cache.size(snap.Epoch),
+		"cache":         s.cache.statz(),
+		"pool":          s.pool.statz(),
 		"families":      families,
 	})
 }
@@ -348,26 +376,56 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
 	key := p.key(family)
 	var (
-		res       *Result
+		enc       *encResult
 		cached    bool
 		occupancy = int64(1)
 	)
 	if c := s.cache.get(snap.Epoch, key); c != nil {
-		res, cached = c, true
+		enc, cached = c, true
 		fs.cacheHits.Add(1)
 	} else {
 		var led bool
 		// The flight key carries the epoch so that requests pinned to
-		// different snapshots can never share a run.
-		res, occupancy, led, err = s.batch.do(fmt.Sprintf("e%d|%s", snap.Epoch, key), func() (*Result, error) {
-			r, rerr := runQuery(snap, family, p, s.cfg.SimWorkers)
-			if rerr == nil {
-				// Publish before the flight deregisters so late arrivals
+		// different snapshots can never share a run. Only the flight leader
+		// touches the run pool: followers wait on the flight, cache hits
+		// above never get here, so pool saturation throttles exactly the
+		// requests that would start a new canonical run.
+		enc, occupancy, led, err = s.batch.do(fmt.Sprintf("e%d|%s", snap.Epoch, key), func() (*encResult, error) {
+			var (
+				e    *encResult
+				rerr error
+			)
+			perr := s.pool.submit(func() {
+				defer func() {
+					if rec := recover(); rec != nil {
+						rerr = fmt.Errorf("canonical run panicked: %v", rec)
+					}
+				}()
+				if s.cfg.blockRuns != nil {
+					<-s.cfg.blockRuns
+				}
+				var r *Result
+				r, rerr = runQuery(snap, family, p, s.cfg.SimWorkers)
+				if rerr != nil {
+					return
+				}
+				// Encode once, inside the pool slot (encoding cost scales
+				// with the result, so it is admission-controlled too), and
+				// publish before the flight deregisters so late arrivals
 				// hit the cache instead of re-running.
-				s.cache.put(snap.Epoch, key, r)
+				e = newEncResult(r)
+				s.cache.put(snap.Epoch, key, e)
+			})
+			if perr != nil {
+				return nil, perr
 			}
-			return r, rerr
+			return e, rerr
 		})
+		if errors.Is(err, ErrSaturated) {
+			fs.rejected.Add(1)
+			s.writeSaturated(w)
+			return
+		}
 		if err != nil {
 			fs.errors.Add(1)
 			writeError(w, http.StatusInternalServerError, "query failed: %v", err)
@@ -380,20 +438,47 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	resp := &QueryResponse{
-		Family:    family,
-		Epoch:     snap.Epoch,
-		Cached:    cached,
-		BatchSize: occupancy,
-		TookMs:    float64(time.Since(t0).Nanoseconds()) / 1e6,
-		Result:    res,
-	}
+	// Hot response path: envelope appended around the pre-encoded result
+	// bytes in a pooled buffer. A cache hit is a header write plus one
+	// buffer copy — no per-vertex encoding work at all.
+	tookMs := float64(time.Since(t0).Nanoseconds()) / 1e6
+	var (
+		selection   []VertexAnswer
+		resultBytes = enc.full
+	)
 	if sel := p.selection(); len(sel) > 0 {
-		resp.Selection = res.project(sel)
-		trimmed := *res // shallow copy; the canonical result stays cached intact
-		trimmed.Mate, trimmed.Set, trimmed.Labels, trimmed.DeliveredTo = nil, nil, nil, nil
-		trimmed.PerCluster = nil
-		resp.Result = &trimmed
+		selection = enc.res.project(sel)
+		resultBytes = enc.trimmed
 	}
-	writeJSON(w, http.StatusOK, resp)
+	rb := getRespBuf()
+	b := appendQueryResponse(rb.b[:0], family, snap.Epoch, cached, occupancy, tookMs, selection, resultBytes)
+	b = append(b, '\n')
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("Content-Length", strconv.Itoa(len(b)))
+	w.WriteHeader(http.StatusOK)
+	w.Write(b)
+	rb.b = b
+	putRespBuf(rb)
+}
+
+// writeSaturated answers a request whose canonical run could not be
+// admitted: 429 with a Retry-After estimate in both the conventional
+// header and the structured JSON body.
+func (s *Server) writeSaturated(w http.ResponseWriter) {
+	retry := int(s.pool.retryAfter().Round(time.Second) / time.Second)
+	if retry < 1 {
+		retry = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(retry))
+	writeJSON(w, http.StatusTooManyRequests, saturatedResponse{
+		Error:             "run pool saturated: admission queue is full, retry later",
+		RetryAfterSeconds: retry,
+	})
+}
+
+// saturatedResponse is the structured 429 error body.
+type saturatedResponse struct {
+	Error             string `json:"error"`
+	RetryAfterSeconds int    `json:"retry_after_seconds"`
 }

@@ -43,7 +43,10 @@ func writeTestGraph(t *testing.T, n int) string {
 
 func newTestServer(t *testing.T, path string, window time.Duration) (*Server, *httptest.Server) {
 	t.Helper()
-	srv, err := New(Config{Spec: Spec{Path: path, Eps: 0.3, Seed: 1}, BatchWindow: window})
+	// Deep admission queue: these tests exercise serving semantics, not
+	// backpressure (overload_test.go owns that), so no request should ever
+	// see 429 here even on a single-CPU host under -race.
+	srv, err := New(Config{Spec: Spec{Path: path, Eps: 0.3, Seed: 1}, BatchWindow: window, QueueDepth: 256})
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
