@@ -25,13 +25,24 @@
 // under 40 file bytes/edge, and a zero-copy mmap open must not allocate per
 // edge.
 //
+// With -churnfracs (comma-separated churn fractions), the report additionally
+// records the dynamic-graph maintenance curves of
+// internal/benchmarks.MeasureChurn: incremental decomposition maintenance
+// (expander.DecomposeIncremental) versus a full rebuild at each churn level,
+// with cluster-reuse accounting and cut-fraction quality. Under -check these
+// are gated within-run too: wherever under 10% of clusters broke, the
+// incremental path must be ≥ -churnminspeedup× faster than the rebuild, and
+// at churn ≤ 10% at least -churnminreuse of the clusters must be reused.
+//
 // Usage:
 //
-//	benchjson [-pr 8] [-out BENCH_8.json] [-benchtime 100ms]
-//	          [-check BENCH_8.json] [-tolerance 0.25]
+//	benchjson [-pr 10] [-out BENCH_10.json] [-benchtime 100ms]
+//	          [-check BENCH_10.json] [-tolerance 0.25]
 //	          [-minspeedup 1.5] [-hostmode relax|refuse]
 //	          [-iosizes 1000000,10000000] [-iodir /tmp]
 //	          [-iominratio 5] [-iomaxopen 10ms]
+//	          [-churnfracs 0.01,0.05,0.10] [-churnseed 7]
+//	          [-churnminspeedup 2] [-churnminreuse 0.5]
 package main
 
 import (
@@ -123,6 +134,9 @@ type report struct {
 	// IO holds the graph-loading curves (text vs binary vs mmap) across
 	// edge counts, recorded when -iosizes is given.
 	IO []benchmarks.IOCurve `json:"io,omitempty"`
+	// Churn holds the incremental-vs-full decomposition maintenance curves
+	// across churn fractions, recorded when -churnfracs is given.
+	Churn []benchmarks.ChurnCurve `json:"churn,omitempty"`
 }
 
 // findIO returns the named I/O curve ("text", "binary", "mmap"), or nil.
@@ -266,6 +280,50 @@ func checkSpeedup(fresh *report, minSpeedup float64) []string {
 	return violations
 }
 
+// checkChurn gates the churn curves. Like the I/O gate, every comparison is
+// within the fresh run, so it needs no baseline and holds on any host:
+//
+//  1. at every point where under 10% of the previous clusters broke,
+//     incremental maintenance must be at least minSpeedup× faster than the
+//     full rebuild of the same compacted graph — the reason the incremental
+//     path exists;
+//  2. at churn fractions up to 10%, at least minReuse of the previous
+//     clusters must be reused (their certificates re-verified rather than
+//     recomputed);
+//  3. reuse accounting must be internally consistent (reused + broken =
+//     previous clusters).
+func checkChurn(fresh *report, minSpeedup, minReuse float64) []string {
+	if len(fresh.Churn) == 0 {
+		return []string{"churn curves missing from fresh run"}
+	}
+	var violations []string
+	for _, c := range fresh.Churn {
+		for _, p := range c.Points {
+			tag := fmt.Sprintf("churn %s f=%.2f", c.Instance, p.Fraction)
+			if p.Reused+p.Broken != p.PrevClusters {
+				violations = append(violations, fmt.Sprintf(
+					"%s: inconsistent accounting: reused %d + broken %d != prev %d",
+					tag, p.Reused, p.Broken, p.PrevClusters))
+			}
+			if p.BrokenFraction < 0.1 {
+				if p.Speedup < minSpeedup {
+					violations = append(violations, fmt.Sprintf(
+						"%s: incremental only %.2fx faster than full rebuild (%.2fms vs %.2fms) with %.0f%% broken, want >= %.1fx",
+						tag, p.Speedup, p.IncrementalNs/1e6, p.FullNs/1e6, p.BrokenFraction*100, minSpeedup))
+				} else {
+					fmt.Printf("churn gate: %s %.1fx faster incremental (>= %.1fx) ok\n", tag, p.Speedup, minSpeedup)
+				}
+			}
+			if p.Fraction <= 0.10 && p.ReuseFraction < minReuse {
+				violations = append(violations, fmt.Sprintf(
+					"%s: reuse fraction %.2f below %.2f (reused %d of %d clusters)",
+					tag, p.ReuseFraction, minReuse, p.Reused, p.PrevClusters))
+			}
+		}
+	}
+	return violations
+}
+
 // checkIO gates the I/O curves. All comparisons are within the fresh run, so
 // the gate needs no baseline and holds on any host: the ratios and ceilings
 // are properties of the load paths, not of the machine's absolute speed.
@@ -322,7 +380,7 @@ func checkIO(fresh *report, minRatio float64, maxOpen time.Duration) []string {
 }
 
 func main() {
-	pr := flag.Int("pr", 8, "PR number recorded in the report (names the default output file)")
+	pr := flag.Int("pr", 10, "PR number recorded in the report (names the default output file)")
 	out := flag.String("out", "", "output file (default BENCH_<pr>.json)")
 	benchtime := flag.String("benchtime", "100ms", "per-benchmark run budget (Go benchtime syntax)")
 	checkPath := flag.String("check", "", "baseline BENCH_<pr>.json to regression-check against (empty disables)")
@@ -333,6 +391,10 @@ func main() {
 	ioDir := flag.String("iodir", os.TempDir(), "scratch directory for the I/O curve graph files")
 	ioMinRatio := flag.Float64("iominratio", 5, "required binary-vs-text per-edge load speedup for the -check io gate")
 	ioMaxOpen := flag.Duration("iomaxopen", 10*time.Millisecond, "maximum mmap open latency for the -check io gate")
+	churnFracs := flag.String("churnfracs", "", "comma-separated churn fractions for the incremental-maintenance curves (empty disables)")
+	churnSeed := flag.Int64("churnseed", 7, "seed for the churn curve mutation streams")
+	churnMinSpeedup := flag.Float64("churnminspeedup", 2, "required incremental-vs-full speedup when <10%% of clusters break, for the -check churn gate")
+	churnMinReuse := flag.Float64("churnminreuse", 0.5, "required cluster reuse fraction at churn <= 10%%, for the -check churn gate")
 	flag.Parse()
 	if *out == "" {
 		*out = fmt.Sprintf("BENCH_%d.json", *pr)
@@ -431,6 +493,25 @@ func main() {
 		}
 		rep.IO = curves
 	}
+	if *churnFracs != "" {
+		var fracs []float64
+		for _, part := range strings.Split(*churnFracs, ",") {
+			v, perr := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if perr != nil || v <= 0 || v >= 1 {
+				fmt.Fprintf(os.Stderr, "benchjson: bad -churnfracs entry %q\n", part)
+				os.Exit(2)
+			}
+			fracs = append(fracs, v)
+		}
+		curves, cErr := benchmarks.MeasureChurn(benchmarks.ChurnOptions{
+			Fractions: fracs, Seed: *churnSeed, Log: os.Stdout,
+		})
+		if cErr != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: churn curves: %v\n", cErr)
+			os.Exit(1)
+		}
+		rep.Churn = curves
+	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -478,6 +559,9 @@ func main() {
 		}
 		if len(rep.IO) > 0 {
 			violations = append(violations, checkIO(&rep, *ioMinRatio, *ioMaxOpen)...)
+		}
+		if len(rep.Churn) > 0 {
+			violations = append(violations, checkChurn(&rep, *churnMinSpeedup, *churnMinReuse)...)
 		}
 		if len(violations) > 0 {
 			for _, v := range violations {

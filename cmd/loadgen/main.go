@@ -14,15 +14,23 @@
 //	loadgen -addr http://127.0.0.1:8080 [-families matching,mis]
 //	        [-clients 1,16,128,1024] [-requests 25] [-seeds 8] [-eps 0.25]
 //	        [-reloads 3] [-overload 64] [-overloadfor 10s]
-//	        [-out BENCH_9.json] [-merge] [-check] [-pr 9]
+//	        [-mutate g.churn] [-mutatebatch 64]
+//	        [-out BENCH_10.json] [-merge] [-check] [-pr 10]
 //	        [-cachep99x 25] [-cachep99floor 250ms] [-overloadp99 5s]
+//
+// With -mutate, loadgen additionally replays a churn trace (the format
+// cmd/graphgen -churn emits) against POST /mutate in -mutatebatch-sized
+// batches while query clients keep the serving path under load — the
+// dynamic-graph leg of the serve smoke job.
 //
 // With -check, loadgen gates the run it just measured: every point must
 // complete with zero non-429 failures, positive QPS and p50 <= p99; the
 // cache-hit p99 at the largest client count must stay within -cachep99x
 // times the reference (16-client) point, modulo the -cachep99floor
 // absolute floor; the reload exercise (if run) must finish with zero
-// reload failures, zero failed requests and zero epoch regressions; and
+// reload failures, zero failed requests and zero epoch regressions; the
+// mutate exercise (if run) must apply every batch, drop zero requests,
+// never regress an epoch, and advance the epoch once per batch; and
 // the overload probe (if run) must show actual rejections, all with valid
 // Retry-After, zero non-429 failures, and cached-path p99 under
 // -overloadp99. Exit status 1 on violation.
@@ -38,6 +46,7 @@ import (
 	"time"
 
 	"expandergap/internal/benchmarks"
+	"expandergap/internal/graph"
 )
 
 func parseInts(csv string) ([]int, error) {
@@ -70,6 +79,7 @@ func parseFamilies(csv string) []string {
 type checkOpts struct {
 	reloads       int
 	overload      int
+	mutateBatches int
 	cacheP99X     float64
 	cacheP99Floor time.Duration
 	overloadP99   time.Duration
@@ -152,6 +162,29 @@ func checkReport(rep *benchmarks.ServeReport, opts checkOpts) []string {
 			}
 		}
 	}
+	if opts.mutateBatches > 0 {
+		m := rep.Mutate
+		if m == nil {
+			bad = append(bad, "mutate exercise requested but not recorded")
+		} else {
+			if m.BatchFailures != 0 {
+				bad = append(bad, fmt.Sprintf("mutate: %d of %d batches failed", m.BatchFailures, m.Batches))
+			}
+			if m.Failed != 0 {
+				bad = append(bad, fmt.Sprintf("mutate: %d of %d requests failed during swaps", m.Failed, m.Requests))
+			}
+			if m.EpochRegressions != 0 {
+				bad = append(bad, fmt.Sprintf("mutate: %d epoch regressions observed", m.EpochRegressions))
+			}
+			// Every applied batch bumps the epoch exactly once, so the final
+			// observed epoch must cover first + successful batches (the last
+			// client can race the final swap by at most one, but measureMutate
+			// waits for the final epoch to be observed).
+			if ok := m.Batches - m.BatchFailures; ok >= 2 && m.LastEpoch < m.FirstEpoch+1 {
+				bad = append(bad, fmt.Sprintf("mutate: epochs stuck at %d despite %d applied batches", m.LastEpoch, ok))
+			}
+		}
+	}
 	if opts.overload > 0 {
 		o := rep.Overload
 		if o == nil {
@@ -186,10 +219,12 @@ func main() {
 	reloads := flag.Int("reloads", 0, "hot /reload swaps to issue under sustained load (0 = skip)")
 	overload := flag.Int("overload", 0, "clients for the deliberate-overload probe (0 = skip)")
 	overloadFor := flag.Duration("overloadfor", 10*time.Second, "duration of the overload probe")
+	mutateTrace := flag.String("mutate", "", "churn trace file to replay against /mutate under load (empty = skip)")
+	mutateBatch := flag.Int("mutatebatch", 64, "ops per /mutate batch for the -mutate exercise")
 	out := flag.String("out", "", "write (or with -merge, update) this BENCH json file")
 	merge := flag.Bool("merge", false, "read -out first and only replace its \"serve\" section")
 	check := flag.Bool("check", false, "gate the run: zero non-429 failures, flat cache-hit latency, clean reloads and overload")
-	pr := flag.Int("pr", 9, "PR number stamped into a fresh (non-merge) report")
+	pr := flag.Int("pr", 10, "PR number stamped into a fresh (non-merge) report")
 	cacheP99X := flag.Float64("cachep99x", 25, "-check: max cache-hit p99 growth factor from the 16-client point to the largest")
 	cacheP99Floor := flag.Duration("cachep99floor", 250*time.Millisecond, "-check: absolute cache-hit p99 floor below which the growth gate never fires")
 	overloadP99 := flag.Duration("overloadp99", 5*time.Second, "-check: cached-path p99 cap during the overload probe")
@@ -199,6 +234,25 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: -clients: %v\n", err)
 		os.Exit(2)
+	}
+
+	var mutateOps []graph.Op
+	if *mutateTrace != "" {
+		f, err := os.Open(*mutateTrace)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: -mutate: %v\n", err)
+			os.Exit(2)
+		}
+		mutateOps, err = graph.ReadChurn(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: -mutate: %v\n", err)
+			os.Exit(2)
+		}
+		if len(mutateOps) == 0 {
+			fmt.Fprintf(os.Stderr, "loadgen: -mutate: trace %s has no ops\n", *mutateTrace)
+			os.Exit(2)
+		}
 	}
 
 	rep, err := benchmarks.MeasureServe(benchmarks.ServeOptions{
@@ -211,6 +265,8 @@ func main() {
 		Reloads:           *reloads,
 		OverloadClients:   *overload,
 		OverloadDuration:  *overloadFor,
+		MutateOps:         mutateOps,
+		MutateBatch:       *mutateBatch,
 		Log:               os.Stderr,
 	})
 	if err != nil {
@@ -246,9 +302,14 @@ func main() {
 	}
 
 	if *check {
+		mutateBatches := 0
+		if n := len(mutateOps); n > 0 {
+			mutateBatches = (n + *mutateBatch - 1) / *mutateBatch
+		}
 		bad := checkReport(rep, checkOpts{
 			reloads:       *reloads,
 			overload:      *overload,
+			mutateBatches: mutateBatches,
 			cacheP99X:     *cacheP99X,
 			cacheP99Floor: *cacheP99Floor,
 			overloadP99:   *overloadP99,

@@ -1,0 +1,367 @@
+package benchmarks
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"expandergap/internal/expander"
+	"expandergap/internal/graph"
+)
+
+// This file measures the dynamic-graph story: how incremental decomposition
+// maintenance (expander.DecomposeIncremental) compares against a full rebuild
+// as churn grows, and how the serving layer behaves when /mutate batches land
+// under sustained query load. The offline curves go into BENCH_<pr>.json's
+// "churn" section via cmd/benchjson; the under-load exercise goes into the
+// "serve" section via cmd/loadgen -mutate.
+
+// ChurnPoint is one churn fraction's measurement on one instance.
+type ChurnPoint struct {
+	// Fraction is the churn size as a fraction of the base edge count.
+	Fraction float64 `json:"fraction"`
+	// Ops is the resulting mutation count (round(Fraction*m)).
+	Ops int `json:"ops"`
+	// PrevClusters..NewClusters mirror expander.IncrementalStats.
+	PrevClusters int `json:"prev_clusters"`
+	Touched      int `json:"touched"`
+	Broken       int `json:"broken"`
+	Reused       int `json:"reused"`
+	NewClusters  int `json:"new_clusters"`
+	// ReuseFraction is Reused/PrevClusters; BrokenFraction is
+	// Broken/PrevClusters — the gate condition: when under 10% of clusters
+	// break, incremental maintenance must beat the full rebuild.
+	ReuseFraction  float64 `json:"reuse_fraction"`
+	BrokenFraction float64 `json:"broken_fraction"`
+	// IncrementalNs and FullNs are best-of-R wall times for maintaining the
+	// decomposition incrementally vs rebuilding from scratch on the
+	// compacted graph. Speedup is FullNs/IncrementalNs.
+	IncrementalNs float64 `json:"incremental_ns"`
+	FullNs        float64 `json:"full_ns"`
+	Speedup       float64 `json:"speedup"`
+	// IncCutFraction / FullCutFraction are |E^r|/|E| of the two results —
+	// the ε-budget drift the staleness semantics allow. StaleCutFraction is
+	// the no-maintenance floor: the previous decomposition projected onto
+	// the mutated graph (expander.ProjectStale) without any recomputation.
+	IncCutFraction   float64 `json:"inc_cut_fraction"`
+	FullCutFraction  float64 `json:"full_cut_fraction"`
+	StaleCutFraction float64 `json:"stale_cut_fraction"`
+}
+
+// ChurnCurve is one instance swept across churn fractions.
+type ChurnCurve struct {
+	Instance string       `json:"instance"`
+	N        int          `json:"n"`
+	M        int          `json:"m"`
+	Eps      float64      `json:"eps"`
+	Phi      float64      `json:"phi"`
+	Points   []ChurnPoint `json:"points"`
+}
+
+// ChurnOptions configures MeasureChurn.
+type ChurnOptions struct {
+	// Fractions is the churn sweep (default {0.01, 0.05, 0.10}).
+	Fractions []float64
+	// Seed drives the churn streams (default 7; the decomposer seed is
+	// fixed at 2022 to match the golden instances).
+	Seed int64
+	// Rounds is the best-of repetition count per timing (default 3).
+	Rounds int
+	// Log receives progress lines (nil = quiet).
+	Log io.Writer
+}
+
+func (o ChurnOptions) withDefaults() ChurnOptions {
+	if len(o.Fractions) == 0 {
+		o.Fractions = []float64{0.01, 0.05, 0.10}
+	}
+	if o.Seed == 0 {
+		o.Seed = 7
+	}
+	if o.Rounds == 0 {
+		o.Rounds = 3
+	}
+	return o
+}
+
+// churnInstance is one benchmark graph plus its decomposition parameters.
+type churnInstance struct {
+	name string
+	g    *graph.Graph
+	eps  float64
+	phi  float64
+}
+
+// churnInstances returns the measured instances: a 32×32 grid and a
+// 400-vertex random planar graph, both under the deep-recursion setting
+// (ε = 0.999) at φ = 0.2 where certificates are checkable and a 10% churn
+// breaks well under 10% of clusters.
+func churnInstances() []churnInstance {
+	rng := rand.New(rand.NewSource(5))
+	return []churnInstance{
+		{"grid32x32", graph.Grid(32, 32), 0.999, 0.2},
+		{"planar400", graph.RandomPlanar(400, 0.7, rng), 0.999, 0.2},
+	}
+}
+
+// bestOf runs fn rounds times and returns the fastest wall time.
+func bestOf(rounds int, fn func() error) (time.Duration, error) {
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < rounds; i++ {
+		t0 := time.Now()
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		if d := time.Since(t0); d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// MeasureChurn sweeps the churn fractions over the benchmark instances,
+// measuring incremental maintenance vs full rebuild (best-of-Rounds wall
+// time), the cluster-reuse accounting, and the cut-fraction quality of the
+// incremental, full, and stale (no-maintenance) decompositions.
+func MeasureChurn(opts ChurnOptions) ([]ChurnCurve, error) {
+	opts = opts.withDefaults()
+	var curves []ChurnCurve
+	for _, inst := range churnInstances() {
+		decOpts := expander.Options{Seed: 2022, Phi: inst.phi}
+		prev, err := expander.Decompose(inst.g, inst.eps, decOpts)
+		if err != nil {
+			return nil, fmt.Errorf("churn: decompose %s: %w", inst.name, err)
+		}
+		c := ChurnCurve{Instance: inst.name, N: inst.g.N(), M: inst.g.M(), Eps: inst.eps, Phi: inst.phi}
+		for _, frac := range opts.Fractions {
+			count := int(frac * float64(inst.g.M()))
+			if count < 1 {
+				count = 1
+			}
+			ops, err := graph.GenerateChurn(inst.g, count, opts.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("churn: generate %s f=%.2f: %w", inst.name, frac, err)
+			}
+			buildOverlay := func() (*graph.Overlay, error) {
+				ov := graph.NewOverlay(inst.g)
+				if n, err := ov.ApplyAll(ops); err != nil {
+					return nil, fmt.Errorf("churn: apply op %d: %w", n, err)
+				}
+				return ov, nil
+			}
+			ov, err := buildOverlay()
+			if err != nil {
+				return nil, err
+			}
+
+			var (
+				incDec *expander.Decomposition
+				incG   *graph.Graph
+				stats  *expander.IncrementalStats
+			)
+			// The incremental timing includes overlay compaction — that is
+			// the real cost a /mutate pays — but not overlay construction,
+			// which the server amortizes across the batch's arrival.
+			incTime, err := bestOf(opts.Rounds, func() error {
+				incDec, incG, stats, err = expander.DecomposeIncremental(prev, ov, 0, decOpts)
+				return err
+			})
+			if err != nil {
+				return nil, fmt.Errorf("churn: incremental %s f=%.2f: %w", inst.name, frac, err)
+			}
+			var fullDec *expander.Decomposition
+			fullTime, err := bestOf(opts.Rounds, func() error {
+				fullDec, err = expander.Decompose(incG, inst.eps, decOpts)
+				return err
+			})
+			if err != nil {
+				return nil, fmt.Errorf("churn: full %s f=%.2f: %w", inst.name, frac, err)
+			}
+
+			pt := ChurnPoint{
+				Fraction:         frac,
+				Ops:              len(ops),
+				PrevClusters:     stats.PrevClusters,
+				Touched:          stats.Touched,
+				Broken:           stats.Broken,
+				Reused:           stats.Reused,
+				NewClusters:      stats.NewClusters,
+				ReuseFraction:    stats.ReuseFraction(),
+				IncrementalNs:    float64(incTime.Nanoseconds()),
+				FullNs:           float64(fullTime.Nanoseconds()),
+				IncCutFraction:   incDec.CutFraction(incG),
+				FullCutFraction:  fullDec.CutFraction(incG),
+				StaleCutFraction: expander.ProjectStale(prev, incG).CutFraction(incG),
+			}
+			if stats.PrevClusters > 0 {
+				pt.BrokenFraction = float64(stats.Broken) / float64(stats.PrevClusters)
+			}
+			if pt.IncrementalNs > 0 {
+				pt.Speedup = pt.FullNs / pt.IncrementalNs
+			}
+			c.Points = append(c.Points, pt)
+			if opts.Log != nil {
+				fmt.Fprintf(opts.Log,
+					"churn %-10s f=%.2f (%4d ops): reused %d/%d (%.2f), broken %.2f, inc %8.2fms vs full %8.2fms (%.1fx), cut inc/full/stale %.3f/%.3f/%.3f\n",
+					inst.name, frac, pt.Ops, pt.Reused, pt.PrevClusters, pt.ReuseFraction,
+					pt.BrokenFraction, pt.IncrementalNs/1e6, pt.FullNs/1e6, pt.Speedup,
+					pt.IncCutFraction, pt.FullCutFraction, pt.StaleCutFraction)
+			}
+		}
+		curves = append(curves, c)
+	}
+	return curves, nil
+}
+
+// MutateResult reports the mutate-under-load exercise: clients hammer
+// queries while /mutate applies sequential churn batches. The dynamic
+// serving contract is the reload contract plus incremental-maintenance
+// accounting: zero failed requests and batches, monotone epochs, and the
+// reuse statistics of each swap.
+type MutateResult struct {
+	Batches          int     `json:"batches"`
+	BatchFailures    int     `json:"batch_failures"`
+	OpsApplied       int     `json:"ops_applied"`
+	Requests         int     `json:"requests"`
+	Failed           int     `json:"failed"`
+	Rejected         int     `json:"rejected"`
+	EpochRegressions int     `json:"epoch_regressions"`
+	FirstEpoch       int64   `json:"first_epoch"`
+	LastEpoch        int64   `json:"last_epoch"`
+	MeanBuildMs      float64 `json:"mean_build_ms"`
+	MinReuseFraction float64 `json:"min_reuse_fraction"`
+	WallSeconds      float64 `json:"wall_seconds"`
+}
+
+// mutateWireOp is the /mutate wire op (mirrors serve.MutateOp without the
+// import cycle; benchmarks must not depend on internal/serve).
+type mutateWireOp struct {
+	Op string `json:"op"`
+	U  int    `json:"u"`
+	V  int    `json:"v"`
+	W  int64  `json:"w,omitempty"`
+}
+
+// measureMutate replays ops against POST /mutate in sequential batches while
+// `clients` query clients keep the serving path under load, then reports the
+// combined contract. The query clients keep running until a response from
+// the final mutated epoch has been observed (bounded by a deadline), so the
+// load always spans every swap.
+func measureMutate(httpClient *http.Client, baseURL string, clients int, ops []graph.Op, batch int, eps float64, logw io.Writer) *MutateResult {
+	if batch <= 0 {
+		batch = 64
+	}
+	res := &MutateResult{}
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+	var failed, rejected, requests, regressions atomic.Int64
+	var firstEpoch, lastEpoch atomic.Int64
+	families := []string{"matching", "mis", "clustering", "walkroute"}
+	t0 := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			lastSeen := int64(0)
+			for i := 0; !stop.Load(); i++ {
+				family := families[(c+i)%len(families)]
+				seed := int64(1 + (c+i)%2)
+				s := doQuery(httpClient, baseURL, family, eps, seed)
+				requests.Add(1)
+				if s.failed {
+					failed.Add(1)
+					continue
+				}
+				if s.rejected {
+					rejected.Add(1)
+					time.Sleep(50 * time.Millisecond)
+					continue
+				}
+				if s.envelope.Epoch < lastSeen {
+					regressions.Add(1)
+				}
+				lastSeen = s.envelope.Epoch
+				firstEpoch.CompareAndSwap(0, s.envelope.Epoch)
+				for {
+					le := lastEpoch.Load()
+					if s.envelope.Epoch <= le || lastEpoch.CompareAndSwap(le, s.envelope.Epoch) {
+						break
+					}
+				}
+			}
+		}(c)
+	}
+
+	var wantEpoch int64
+	var buildMsSum float64
+	res.MinReuseFraction = 1
+	for i := 0; i < len(ops); i += batch {
+		end := i + batch
+		if end > len(ops) {
+			end = len(ops)
+		}
+		res.Batches++
+		req := struct {
+			Ops []mutateWireOp `json:"ops"`
+		}{}
+		for _, op := range ops[i:end] {
+			req.Ops = append(req.Ops, mutateWireOp{Op: op.Kind.String(), U: op.U, V: op.V, W: op.W})
+		}
+		body, _ := json.Marshal(req)
+		time.Sleep(100 * time.Millisecond) // let query load establish between swaps
+		resp, err := httpClient.Post(baseURL+"/mutate", "application/json", bytes.NewReader(body))
+		if err != nil {
+			res.BatchFailures++
+			continue
+		}
+		var swapped struct {
+			Epoch         int64   `json:"epoch"`
+			Applied       int     `json:"applied"`
+			BuildMs       float64 `json:"build_ms"`
+			ReuseFraction float64 `json:"reuse_fraction"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&swapped)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || err != nil {
+			res.BatchFailures++
+			continue
+		}
+		res.OpsApplied += swapped.Applied
+		buildMsSum += swapped.BuildMs
+		if swapped.ReuseFraction < res.MinReuseFraction {
+			res.MinReuseFraction = swapped.ReuseFraction
+		}
+		if swapped.Epoch > wantEpoch {
+			wantEpoch = swapped.Epoch
+		}
+		if logw != nil {
+			fmt.Fprintf(logw, "mutate batch %d/%d ok (epoch %d, %d ops, build %.2fms, reuse %.2f)\n",
+				res.Batches, (len(ops)+batch-1)/batch, swapped.Epoch, swapped.Applied,
+				swapped.BuildMs, swapped.ReuseFraction)
+		}
+	}
+	if n := res.Batches - res.BatchFailures; n > 0 {
+		res.MeanBuildMs = buildMsSum / float64(n)
+	}
+	deadline := time.Now().Add(3 * time.Minute)
+	for wantEpoch > 0 && lastEpoch.Load() < wantEpoch && time.Now().Before(deadline) {
+		time.Sleep(50 * time.Millisecond)
+	}
+	stop.Store(true)
+	wg.Wait()
+	res.WallSeconds = time.Since(t0).Seconds()
+	res.Requests = int(requests.Load())
+	res.Failed = int(failed.Load())
+	res.Rejected = int(rejected.Load())
+	res.EpochRegressions = int(regressions.Load())
+	res.FirstEpoch = firstEpoch.Load()
+	res.LastEpoch = lastEpoch.Load()
+	return res
+}

@@ -12,6 +12,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"expandergap/internal/graph"
 )
 
 // ServePoint is one closed-loop load measurement: a fixed number of
@@ -92,6 +94,7 @@ type ServeReport struct {
 	Curves   []ServeCurve    `json:"curves"`
 	Reload   *ReloadResult   `json:"reload,omitempty"`
 	Overload *OverloadResult `json:"overload,omitempty"`
+	Mutate   *MutateResult   `json:"mutate,omitempty"`
 }
 
 // ServeOptions configures MeasureServe.
@@ -116,6 +119,11 @@ type ServeOptions struct {
 	// with that many clients for OverloadDuration (default 10s).
 	OverloadClients  int
 	OverloadDuration time.Duration
+	// MutateOps, when non-empty, adds the mutate-under-load exercise: the
+	// ops are replayed against POST /mutate in MutateBatch-sized batches
+	// (default 64) while query clients keep the serving path under load.
+	MutateOps   []graph.Op
+	MutateBatch int
 	// Log receives progress lines (nil = quiet).
 	Log io.Writer
 }
@@ -598,6 +606,22 @@ func MeasureServe(opts ServeOptions) (*ServeReport, error) {
 			return nil, err
 		}
 		rep.Overload = ov
+	}
+	if len(opts.MutateOps) > 0 {
+		clients := opts.Clients[len(opts.Clients)-1]
+		if clients > 128 {
+			clients = 128 // like the reload exercise: sustained load, not max fan-out
+		}
+		rep.Mutate = measureMutate(httpClient, opts.BaseURL, clients,
+			opts.MutateOps, opts.MutateBatch, opts.Eps, opts.Log)
+		if opts.Log != nil {
+			fmt.Fprintf(opts.Log,
+				"mutate under load: %d batches (%d failed, %d ops), %d requests (%d failed, %d rejected), epochs %d -> %d, %d regressions, mean build %.2fms, min reuse %.2f\n",
+				rep.Mutate.Batches, rep.Mutate.BatchFailures, rep.Mutate.OpsApplied,
+				rep.Mutate.Requests, rep.Mutate.Failed, rep.Mutate.Rejected,
+				rep.Mutate.FirstEpoch, rep.Mutate.LastEpoch, rep.Mutate.EpochRegressions,
+				rep.Mutate.MeanBuildMs, rep.Mutate.MinReuseFraction)
+		}
 	}
 	return rep, nil
 }

@@ -61,4 +61,24 @@
 // StreamingBuilder is the shared two-pass assembly they and the text parser
 // build on. See DESIGN.md §3.13 for the on-disk layout and the aliasing
 // rules.
+//
+// # Mutation
+//
+// The CSR arrays never change, but graphs can still evolve: Overlay layers
+// edge and vertex inserts/deletes (Op, Apply, ApplyAll) over an immutable
+// base while satisfying the full G interface — degrees, canonical-order
+// neighbor iteration, edge indices, weights and signs all answer as if the
+// mutated graph had been built from scratch, which FuzzOverlayEquivalence
+// pins against a from-scratch Builder on random op sequences. Base edge
+// indices stay stable under mutation (deletions tombstone, insertions index
+// past the base), so per-edge state held by callers survives a batch.
+// Vertex deletion isolates the ID rather than renumbering — vertex IDs stay
+// dense, the invariant every downstream array relies on. Compact
+// materializes the overlay through StreamingBuilder into a canonical
+// *Graph, byte-identical through the binary codec; DeltaFraction and
+// NeedsCompact (DefaultCompactThreshold) say when that is worth paying.
+// Deterministic mutation streams come from GenerateChurn and round-trip
+// through WriteChurn/ReadChurn in a line-oriented trace format with
+// line-numbered parse errors. See DESIGN.md §3.16 for the delta layout and
+// how the expander package consumes overlays incrementally.
 package graph

@@ -259,7 +259,8 @@ func (b *Builder) M() int { return len(b.pending) }
 
 // AddEdge adds the undirected edge {u, v} with weight 1 and sign +1.
 // Duplicate edges are ignored. It panics on self-loops and out-of-range
-// endpoints.
+// endpoints; input paths that cannot trust their edges should use TryAddEdge,
+// which reports the same conditions as errors.
 func (b *Builder) AddEdge(u, v int) { b.add(u, v, 1, 1, false, false) }
 
 // AddWeightedEdge adds {u, v} with the given positive weight. If the edge was
@@ -280,12 +281,40 @@ func (b *Builder) AddSignedEdge(u, v int, sign int8) {
 	b.add(u, v, 1, sign, false, true)
 }
 
+// TryAddEdge is AddEdge with error semantics: negative or out-of-range
+// endpoints and self-loops return a wrapped ErrVertexRange/ErrSelfLoop
+// instead of panicking deep in CSR assembly. Mutation streams and file
+// parsers share this validation path with Overlay.
+func (b *Builder) TryAddEdge(u, v int) error { return b.tryAdd(u, v, 1, 1, false, false) }
+
+// TryAddWeightedEdge is AddWeightedEdge with error semantics.
+func (b *Builder) TryAddWeightedEdge(u, v int, w int64) error {
+	if w <= 0 {
+		return fmt.Errorf("graph: non-positive edge weight %d on {%d,%d}", w, u, v)
+	}
+	return b.tryAdd(u, v, w, 1, true, false)
+}
+
+// TryAddSignedEdge is AddSignedEdge with error semantics.
+func (b *Builder) TryAddSignedEdge(u, v int, sign int8) error {
+	if sign != 1 && sign != -1 {
+		return fmt.Errorf("graph: invalid edge sign %d on {%d,%d}", sign, u, v)
+	}
+	return b.tryAdd(u, v, 1, sign, false, true)
+}
+
 func (b *Builder) add(u, v int, w int64, s int8, isWeighted, isSigned bool) {
+	if err := b.tryAdd(u, v, w, s, isWeighted, isSigned); err != nil {
+		panic(err.Error())
+	}
+}
+
+func (b *Builder) tryAdd(u, v int, w int64, s int8, isWeighted, isSigned bool) error {
 	if u < 0 || u >= b.n || v < 0 || v >= b.n {
-		panic(fmt.Sprintf("graph: edge {%d,%d} out of range for n=%d", u, v, b.n))
+		return fmt.Errorf("graph: edge {%d,%d} out of range for n=%d: %w", u, v, b.n, ErrVertexRange)
 	}
 	if u == v {
-		panic(fmt.Sprintf("graph: self-loop on vertex %d", u))
+		return fmt.Errorf("graph: self-loop on vertex %d: %w", u, ErrSelfLoop)
 	}
 	e := Edge{U: u, V: v}.Canon()
 	if i, ok := b.seen[e]; ok {
@@ -299,6 +328,7 @@ func (b *Builder) add(u, v int, w int64, s int8, isWeighted, isSigned bool) {
 	}
 	b.anyW = b.anyW || isWeighted
 	b.anyS = b.anyS || isSigned
+	return nil
 }
 
 // HasEdge reports whether {u, v} has been added.

@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"errors"
 	"io"
 	"math/rand"
 	"testing"
@@ -55,6 +56,46 @@ func TestBuilderPanics(t *testing.T) {
 			}()
 			tc.fn()
 		})
+	}
+}
+
+// TestBuilderTryAdd pins the non-panicking variants: invalid endpoints come
+// back as wrapped sentinel errors, and valid edges still land in the graph.
+func TestBuilderTryAdd(t *testing.T) {
+	b := NewBuilder(3)
+	cases := []struct {
+		name string
+		err  error
+		want error
+	}{
+		{"negative-vertex", b.TryAddEdge(-1, 0), ErrVertexRange},
+		{"out-of-range", b.TryAddEdge(0, 3), ErrVertexRange},
+		{"self-loop", b.TryAddEdge(1, 1), ErrSelfLoop},
+		{"weighted-out-of-range", b.TryAddWeightedEdge(5, 0, 2), ErrVertexRange},
+		{"signed-negative", b.TryAddSignedEdge(-2, 1, +1), ErrVertexRange},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.err == nil {
+				t.Fatal("expected error")
+			}
+			if !errors.Is(tc.err, tc.want) {
+				t.Fatalf("error %q does not wrap %v", tc.err, tc.want)
+			}
+		})
+	}
+	if err := b.TryAddEdge(0, 1); err != nil {
+		t.Fatalf("valid TryAddEdge: %v", err)
+	}
+	if err := b.TryAddWeightedEdge(1, 2, 7); err != nil {
+		t.Fatalf("valid TryAddWeightedEdge: %v", err)
+	}
+	g := b.Graph()
+	if g.M() != 2 {
+		t.Fatalf("M = %d, want 2 (rejected edges must not be recorded)", g.M())
+	}
+	if idx, ok := g.EdgeIndex(1, 2); !ok || g.Weight(idx) != 7 {
+		t.Fatal("weighted edge from TryAddWeightedEdge missing")
 	}
 }
 

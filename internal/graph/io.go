@@ -193,17 +193,21 @@ func readEdgeListTwoPass(rs io.ReadSeeker, start int64) (*Graph, error) {
 func readEdgeListUnsorted(p *edgeListParser, hdr edgeListHeader) (*Graph, error) {
 	b := NewBuilder(hdr.n)
 	for i := 0; i < hdr.m; i++ {
+		line := p.line
 		u, v, w, s, err := p.edge(hdr)
 		if err != nil {
 			return nil, err
 		}
 		switch {
 		case hdr.weighted:
-			b.AddWeightedEdge(u, v, w)
+			err = b.TryAddWeightedEdge(u, v, w)
 		case hdr.signed:
-			b.AddSignedEdge(u, v, s)
+			err = b.TryAddSignedEdge(u, v, s)
 		default:
-			b.AddEdge(u, v)
+			err = b.TryAddEdge(u, v)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", line, err)
 		}
 	}
 	return b.Graph(), nil
@@ -440,7 +444,7 @@ func (p *edgeListParser) edge(hdr edgeListHeader) (u, v int, w int64, s int8, er
 		return 0, 0, 0, 0, err
 	}
 	if ui < 0 || ui >= int64(hdr.n) || vi < 0 || vi >= int64(hdr.n) {
-		return 0, 0, 0, 0, fmt.Errorf("graph: line %d: edge {%d,%d} out of range for n=%d", line, ui, vi, hdr.n)
+		return 0, 0, 0, 0, fmt.Errorf("graph: line %d: edge {%d,%d} out of range for n=%d: %w", line, ui, vi, hdr.n, ErrVertexRange)
 	}
 	if ui == vi {
 		return 0, 0, 0, 0, fmt.Errorf("graph: line %d: self-loop on vertex %d", line, ui)

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -90,6 +91,10 @@ func TestReadEdgeListLineNumberedErrors(t *testing.T) {
 		name, in, want string
 	}{
 		{"id-out-of-range", "3 2\n0 1\n0 5\n", "line 3"},
+		{"negative-id", "3 1\n-1 2\n", "line 2"},
+		{"negative-id-second", "3 2\n0 1\n0 -2\n", "line 3"},
+		{"negative-id-unsorted", "3 3\n1 2\n0 2\n-1 2\n", "line 4"},
+		{"id-out-of-range-unsorted", "3 3\n1 2\n0 2\n0 7\n", "line 4"},
 		{"huge-id-overflows", "3 1\n0 99999999999999999999999999\n", "line 2"},
 		{"id-past-int32", "1000 1\n0 4294967296\n", "line 2"},
 		{"n-past-int32", "4294967296 0\n", "line 1"},
@@ -111,6 +116,13 @@ func TestReadEdgeListLineNumberedErrors(t *testing.T) {
 				t.Fatalf("error %q does not name %s", err, tc.want)
 			}
 		})
+	}
+	// Out-of-range vertex IDs surface the ErrVertexRange sentinel through the
+	// line-numbered wrapper, on both the streaming and Builder-fallback paths.
+	for _, in := range []string{"3 1\n-1 2\n", "3 2\n0 1\n0 5\n", "3 3\n1 2\n0 2\n-1 2\n"} {
+		if _, err := ReadEdgeList(strings.NewReader(in)); !errors.Is(err, ErrVertexRange) {
+			t.Errorf("input %q: error %v does not wrap ErrVertexRange", in, err)
+		}
 	}
 }
 

@@ -76,7 +76,7 @@ func NewStreamingBuilder(n, m int, weighted, signed bool) (*StreamingBuilder, er
 // checkEndpoints validates one edge's endpoints. Shared by both passes.
 func (sb *StreamingBuilder) checkEndpoints(u, v int) error {
 	if u < 0 || u >= sb.n || v < 0 || v >= sb.n {
-		return fmt.Errorf("graph: edge {%d,%d} out of range for n=%d", u, v, sb.n)
+		return fmt.Errorf("graph: edge {%d,%d} out of range for n=%d: %w", u, v, sb.n, ErrVertexRange)
 	}
 	if u == v {
 		return fmt.Errorf("graph: self-loop on vertex %d", u)

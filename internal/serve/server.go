@@ -84,6 +84,9 @@ type Server struct {
 	reloadMu     sync.Mutex // serializes snapshot builds, not queries
 	reloads      atomic.Int64
 	reloadErrors atomic.Int64
+	mutates      atomic.Int64
+	mutateErrors atomic.Int64
+	mutatedOps   atomic.Int64
 
 	fam   map[string]*famStats
 	start time.Time
@@ -119,6 +122,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/statz", s.handleStatz)
 	s.mux.HandleFunc("/reload", s.handleReload)
+	s.mux.HandleFunc("/mutate", s.handleMutate)
 	s.mux.HandleFunc("/query/", s.handleQuery)
 	return s, nil
 }
@@ -141,6 +145,10 @@ func (s *Server) Close() {
 	}
 }
 
+// errShutdown is returned once Close has swapped the current snapshot out;
+// handlers map it to 503.
+var errShutdown = errors.New("server is shut down")
+
 // snapshot pins the current snapshot for one request. The retry loop only
 // spins when a reload retires a fully drained snapshot between the load
 // and the acquire — the next load observes the replacement.
@@ -148,7 +156,7 @@ func (s *Server) snapshot() (*Snapshot, error) {
 	for {
 		snap := s.cur.Load()
 		if snap == nil {
-			return nil, fmt.Errorf("server is shut down")
+			return nil, errShutdown
 		}
 		if snap.acquire() {
 			return snap, nil
@@ -164,7 +172,7 @@ func (s *Server) Reload(spec Spec) (*Snapshot, error) {
 	defer s.reloadMu.Unlock()
 	cur := s.cur.Load()
 	if cur == nil {
-		return nil, fmt.Errorf("server is shut down")
+		return nil, errShutdown
 	}
 	merged := cur.Spec
 	if spec.Path != "" {
@@ -295,6 +303,10 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 		},
 		"reloads":       s.reloads.Load(),
 		"reload_errors": s.reloadErrors.Load(),
+		"mutates":       s.mutates.Load(),
+		"mutate_errors": s.mutateErrors.Load(),
+		"mutated_ops":   s.mutatedOps.Load(),
+		"mutations":     snap.Mutations,
 		"cache_entries": s.cache.size(snap.Epoch),
 		"cache":         s.cache.statz(),
 		"pool":          s.pool.statz(),

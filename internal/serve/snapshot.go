@@ -65,6 +65,11 @@ type Snapshot struct {
 	// ZeroCopy reports whether G aliases a live mmap (true only on the
 	// mmap path on supporting hosts).
 	ZeroCopy bool
+	// Mutations is the cumulative count of /mutate ops applied to the
+	// serving graph since it was last loaded from Spec.Path; a reload
+	// resets it to zero. A mutated snapshot is heap-backed even if its
+	// ancestor was mmapped — Compact always materializes fresh CSR arrays.
+	Mutations int64
 	// LoadDuration and BuildDuration split the snapshot build cost into
 	// graph loading and decomposition.
 	LoadDuration  time.Duration
